@@ -1,0 +1,27 @@
+"""FIG-2 bench: packet service rate vs drop rate at a congested link."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig02 import run_fig02
+
+
+def test_fig02_service_vs_drop(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: run_fig02(settings), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["second", "service pkt/s", "drop pkt/s"],
+            result.rows,
+            title="FIG-2: service vs drop rate (normal operation)",
+        )
+    )
+    emit(f"service/drop ratio: {result.service_to_drop_ratio:.1f}")
+
+    # paper shape: the link is busy and drops are orders of magnitude
+    # rarer than services — the premise of drop-side accounting
+    assert result.service_total > 0
+    assert result.service_to_drop_ratio > 20.0
+    # drops occur (the link is actually congested)
+    assert result.drop_total > 0

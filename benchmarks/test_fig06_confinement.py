@@ -1,0 +1,45 @@
+"""FIG-6 bench: attack confinement for TCP / CBR / Shrew attacks."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.common import mean
+from repro.experiments.fig06 import run_fig06
+
+
+@pytest.mark.parametrize("attack_kind", ["tcp", "cbr", "shrew"])
+def test_fig06_confinement(benchmark, settings, attack_kind):
+    result = benchmark.pedantic(
+        lambda: run_fig06(attack_kind, settings), rounds=1, iterations=1
+    )
+    legit = result.legit_path_means
+    attack = result.attack_path_means
+    emit(
+        format_table(
+            ["path class", "paths", "mean Mbps", "min", "max"],
+            [
+                ["legit", len(legit), mean(legit), min(legit), max(legit)],
+                ["attack", len(attack), mean(attack), min(attack), max(attack)],
+                ["fair/path", "-", result.fair_path_mbps, "-", "-"],
+            ],
+            title=f"FIG-6({attack_kind}): per-path bandwidth under attack",
+        )
+    )
+
+    fair = result.fair_path_mbps
+    # paper shape: every legitimate path keeps close to its fair share —
+    # the attack is confined to the paths that originate it
+    assert mean(legit) > 0.75 * fair
+    assert min(legit) > 0.45 * fair
+    # attack paths never take grossly more than their allocation
+    assert mean(attack) < 1.6 * fair
+
+    if attack_kind == "tcp":
+        # adaptive attackers are indistinguishable per flow; confinement
+        # keeps every path near fair regardless of population
+        assert max(attack) < 1.8 * fair
+    else:
+        # for CBR/Shrew the token bucket activates early on attack paths:
+        # legitimate paths do at least as well as under the TCP attack
+        assert mean(legit) > 0.8 * fair

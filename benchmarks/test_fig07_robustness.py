@@ -1,0 +1,52 @@
+"""FIG-7 bench: robustness CDFs across schemes and attack strengths."""
+
+from conftest import emit
+
+from repro.analysis.cdf import percentile
+from repro.analysis.report import format_table
+from repro.experiments.common import mean
+from repro.experiments.fig07 import run_fig07
+
+
+def test_fig07_robustness(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: run_fig07(
+            settings,
+            schemes=("floc", "pushback", "redpd"),
+            attack_rates_mbps=(0.5, 2.0, 4.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["scheme", "bot Mbps", "mean", "p10", "p50", "p90"],
+            result.summary_rows(),
+            title="FIG-7: legit-path per-flow bandwidth (Mbps)",
+        )
+    )
+    emit(f"ideal fair per-flow rate: {result.ideal_flow_mbps:.3f} Mbps")
+
+    def series(scheme):
+        return {
+            rate: result.samples[(scheme, rate)]
+            for (s, rate) in result.samples
+            if s == scheme
+        }
+
+    floc = series("floc")
+    # paper shape 1: FLoc's distributions are nearly invariant in attack
+    # strength and centred near the ideal fair rate
+    floc_means = [mean(v) for v in floc.values()]
+    assert min(floc_means) > 0.6 * result.ideal_flow_mbps
+    # paper shape 2: at the strongest attack FLoc beats both baselines on
+    # what legitimate-path flows receive
+    strongest = 4.0
+    floc_p50 = percentile(result.samples[("floc", strongest)], 0.5)
+    for other in ("pushback", "redpd"):
+        other_p50 = percentile(result.samples[(other, strongest)], 0.5)
+        assert floc_p50 >= other_p50 * 0.95
+    # paper shape 3: the no-attack RED reference bounds everything (it has
+    # the whole link to itself)
+    red = result.samples[("red-noattack", 0.0)]
+    assert mean(red) >= max(floc_means) * 0.8

@@ -1,0 +1,50 @@
+"""FIG-8 bench: differential bandwidth guarantees vs attack rate."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig08 import run_fig08
+
+RATES = (0.2, 0.8, 2.0, 4.0)
+
+
+def test_fig08_differential(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: run_fig08(settings, attack_rates_mbps=RATES, s_max=25),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["scheme", "bot Mbps", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(),
+            title="FIG-8: bandwidth shares by category (|S|max = 25)",
+        )
+    )
+
+    floc = {r: result.breakdowns[("floc", r)] for r in RATES}
+    push = {r: result.breakdowns[("pushback", r)] for r in RATES}
+    redpd = {r: result.breakdowns[("redpd", r)] for r in RATES}
+
+    # paper shape 1: FLoc keeps the legitimate-path share high (the paper
+    # reports > 80% ~ 21/25 shares) at every attack rate
+    for rate in RATES:
+        assert floc[rate].legit_in_legit > 0.6, rate
+
+    # paper shape 2: as bots speed up, FLoc clamps them harder — attack
+    # share is non-increasing from the slowest to the fastest bots
+    assert floc[4.0].attack <= floc[0.2].attack + 0.05
+
+    # paper shape 3: Pushback's collateral damage — legitimate flows of
+    # attack paths get less than under FLoc at high rates
+    assert push[4.0].legit_in_attack < floc[4.0].legit_in_attack
+
+    # paper shape 4: RED-PD loses more of the link to fast attackers than
+    # FLoc does
+    assert redpd[4.0].attack > floc[4.0].attack
+
+    # paper shape 5: FLoc wins on total legitimate bandwidth at all rates
+    for rate in RATES:
+        assert floc[rate].legit_total >= push[rate].legit_total - 0.03
+        assert floc[rate].legit_total >= redpd[rate].legit_total - 0.03

@@ -1,0 +1,38 @@
+"""FIG-10 bench: covert attacks vs fanout for FLoc / Pushback / RED-PD."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig10 import run_fig10
+
+FANOUTS = (1, 4, 10)
+
+
+def test_fig10_covert(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: run_fig10(settings, fanouts=FANOUTS, n_max=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["scheme", "fanout", "legit total", "attack", "util"],
+            result.rows(),
+            title=f"FIG-10: covert attack (n_max = {result.n_max}, "
+            f"{result.per_flow_rate_mbps} Mbps per flow)",
+        )
+    )
+
+    floc = {f: result.breakdowns[("floc", f)] for f in FANOUTS}
+    redpd = {f: result.breakdowns[("redpd", f)] for f in FANOUTS}
+
+    # paper shape 1: under FLoc the attack share stays capped as fanout
+    # grows — a bot's flows collapse into n_max accounting units
+    assert floc[10].attack <= floc[1].attack + 0.15
+    assert floc[10].legit_total > 0.6
+
+    # paper shape 2: per-flow fairness (RED-PD) hands bandwidth to whoever
+    # owns the most flows — attack share grows with fanout
+    assert redpd[10].attack > redpd[1].attack
+    # and at high fanout FLoc protects much more legitimate traffic
+    assert floc[10].legit_total > redpd[10].legit_total

@@ -1,0 +1,52 @@
+"""FIG-11/12 bench: Internet-scale topology generation statistics."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_fig12_topologies(benchmark):
+    def build():
+        return {
+            "localized": run_fig11("localized"),
+            "dispersed": run_fig11("dispersed"),
+        }
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for placement, per_variant in stats.items():
+        for s in per_variant:
+            rows.append(
+                [
+                    placement,
+                    s.variant,
+                    s.n_as,
+                    s.n_attack_ases,
+                    s.red_links,
+                    round(s.bot_concentration_top_10pct, 3),
+                    round(s.legit_in_attack_as_fraction, 3),
+                    round(s.mean_attack_depth, 2),
+                ]
+            )
+    emit(
+        format_table(
+            ["placement", "variant", "ASes", "attack ASes", "red links",
+             "bot conc.", "legit overlap", "attack depth"],
+            rows,
+            title="FIG-11/12: generated topology statistics",
+        )
+    )
+
+    for placement, per_variant in stats.items():
+        for s in per_variant:
+            # CBL-like concentration: the top tenth of contaminated ASes
+            # hosts the overwhelming majority of bots
+            assert s.bot_concentration_top_10pct > 0.85
+            # the intentional 30% legit placement into attack ASes
+            assert s.legit_in_attack_as_fraction > 0.2
+    # dispersion: Fig. 12 uses 3x more attack ASes, hence more red links
+    for loc, dis in zip(stats["localized"], stats["dispersed"]):
+        assert dis.n_attack_ases > 2 * loc.n_attack_ases
+        assert dis.red_links > loc.red_links

@@ -1,0 +1,57 @@
+"""FIG-13 bench: Internet-scale bandwidth shares, localized attacks."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig13 import run_fig13
+
+
+def assert_strategy_shapes(result, variants):
+    """The Fig. 13/14 shape claims, shared with the dispersed bench."""
+    for variant in variants:
+        nd = result.results[(variant, "ND")]
+        ff = result.results[(variant, "FF")]
+        na = result.results[(variant, "NA")]
+        a_hi = result.results[(variant, "A-hi")]
+        a_lo = result.results[(variant, "A-lo")]
+
+        # no defense: legitimate flows are essentially denied service
+        assert nd.legit_total < 0.10, variant
+        # per-flow fairness recovers some bandwidth but attackers dominate
+        assert ff.legit_total > nd.legit_total + 0.10, variant
+        assert ff.shares["attack"] > ff.legit_total, variant
+        # FLoc localises the attack: legitimate flows hold the majority
+        assert na.legit_total > 0.5, variant
+        assert na.legit_total > ff.legit_total, variant
+        # aggregation favours legitimate paths and squeezes attack paths
+        assert (
+            a_lo.shares["legit_in_legit"]
+            >= na.shares["legit_in_legit"] - 0.02
+        ), variant
+        assert (
+            a_lo.shares["legit_in_attack"]
+            <= na.shares["legit_in_attack"] + 0.02
+        ), variant
+        # within attack ASes, legitimate flows beat bots per flow
+        assert (
+            na.per_flow_mean["legit_in_attack"] > na.per_flow_mean["attack"]
+        ), variant
+
+
+def test_fig13_internet_localized(benchmark):
+    variants = ("f-root", "h-root", "jpn")
+    result = benchmark.pedantic(
+        lambda: run_fig13(placement="localized", variants=variants),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_table(
+            ["variant", "strategy", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(),
+            title="FIG-13: bandwidth shares at the flooded link "
+            "(localized attacks)",
+        )
+    )
+    assert_strategy_shapes(result, variants)

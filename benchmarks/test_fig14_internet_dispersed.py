@@ -1,0 +1,40 @@
+"""FIG-14 bench: Internet-scale bandwidth shares, dispersed attacks."""
+
+from conftest import emit
+from test_fig13_internet_localized import assert_strategy_shapes
+
+from repro.analysis.report import format_table
+from repro.experiments.fig13 import run_fig13, run_fig14
+
+
+def test_fig14_internet_dispersed(benchmark):
+    variants = ("f-root", "h-root", "jpn")
+    result = benchmark.pedantic(
+        lambda: run_fig14(variants=variants), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["variant", "strategy", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(),
+            title="FIG-14: bandwidth shares at the flooded link "
+            "(dispersed attacks, 3x attack ASes)",
+        )
+    )
+    assert_strategy_shapes(result, variants)
+
+    # paper shape specific to dispersion: with attack sources spread over
+    # 3x the ASes, legitimate *paths* keep less than in the localized case
+    # (more attack identifiers share the link), while legitimate flows in
+    # attack ASes pick up share
+    localized = run_fig13(placement="localized", variants=("f-root",))
+    loc_na = localized.results[("f-root", "NA")]
+    dis_na = result.results[("f-root", "NA")]
+    assert (
+        dis_na.shares["legit_in_legit"]
+        <= loc_na.shares["legit_in_legit"] + 0.03
+    )
+    assert (
+        dis_na.shares["legit_in_attack"]
+        >= loc_na.shares["legit_in_attack"] - 0.03
+    )

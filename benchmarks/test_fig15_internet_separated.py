@@ -1,0 +1,37 @@
+"""FIG-15 bench: Internet-scale shares with separated legit/attack ASes."""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.experiments.fig13 import run_fig15
+
+
+def test_fig15_internet_separated(benchmark):
+    variants = ("f-root", "h-root", "jpn")
+    result = benchmark.pedantic(
+        lambda: run_fig15(variants=variants), rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["variant", "strategy", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(),
+            title="FIG-15: bandwidth shares, separated placement "
+            "(no legitimate sources inside attack ASes)",
+        )
+    )
+
+    for variant in variants:
+        nd = result.results[(variant, "ND")]
+        na = result.results[(variant, "NA")]
+        a_lo = result.results[(variant, "A-lo")]
+        # with separation, there is no legit-in-attack category to protect
+        assert na.shares["legit_in_attack"] < 0.02
+        # ... so FLoc's guarantees concentrate on legitimate paths
+        assert na.shares["legit_in_legit"] > 0.5
+        assert nd.legit_total < 0.10
+        # aggregation can only help legitimate paths here
+        assert (
+            a_lo.shares["legit_in_legit"]
+            >= na.shares["legit_in_legit"] - 0.02
+        )

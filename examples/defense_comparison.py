@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare FLoc against Pushback, RED-PD, FF and no defense under a flood.
+
+Reproduces the heart of the paper's Fig. 8 comparison at one attack rate:
+the same CBR flood is thrown at the same link under five different router
+policies, and the resulting bandwidth split is printed side by side.
+
+Run:  python examples/defense_comparison.py [per-bot-Mbps]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.experiments.common import FunctionalSettings, run_breakdown
+from repro.traffic.scenarios import build_tree_scenario
+
+SCHEMES = ("floc", "pushback", "redpd", "fairshare", "droptail")
+
+
+def main() -> None:
+    rate = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    settings = FunctionalSettings(
+        scale=0.1, warmup_seconds=4.0, measure_seconds=10.0, seed=3, s_max=25
+    )
+    rows = []
+    for scheme in SCHEMES:
+        scenario = build_tree_scenario(
+            scale_factor=settings.scale,
+            attack_kind="cbr",
+            attack_rate_mbps=rate,
+            seed=settings.seed,
+        )
+        result = run_breakdown(scenario, scheme, settings)
+        b = result.breakdown
+        rows.append(
+            [scheme, b.legit_in_legit, b.legit_in_attack, b.attack,
+             b.utilization]
+        )
+        print(f"  ran {scheme}")
+    print()
+    print(
+        format_table(
+            ["scheme", "legit (clean domains)", "legit (attack domains)",
+             "attack", "utilization"],
+            rows,
+            title=f"CBR flood at {rate} Mbps per bot - who gets the link?",
+        )
+    )
+    print()
+    print("expected shape: floc keeps the most legitimate bandwidth;")
+    print("pushback starves legit flows inside attack domains; redpd and")
+    print("droptail surrender bandwidth as the attack intensifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Shrew (pulsing) attack demo: low average rate, synchronized bursts.
+
+The Shrew attack sends short coordinated bursts timed at RTT scale so its
+*average* rate evades rate-based detection while TCP flows keep getting
+knocked into backoff.  FLoc identifies the attackers anyway, because MTD
+is measured over enough token periods to integrate the bursts
+(Eq. IV.4) — drops are proportional to send rate whatever its shape.
+
+The demo shows per-path bandwidth time series under FLoc and the same
+attack under plain drop-tail, for contrast.
+
+Run:  python examples/shrew_vs_floc.py
+"""
+
+from repro import FLocConfig, FLocPolicy, build_tree_scenario
+from repro.analysis.report import format_table
+from repro.analysis.timeseries import CategorySeriesMonitor
+
+
+def run(policy_name: str):
+    scenario = build_tree_scenario(
+        scale_factor=0.1,
+        attack_kind="shrew",
+        attack_rate_mbps=2.0,  # burst rate; duty cycle 0.25 of one RTT
+        seed=5,
+    )
+    if policy_name == "floc":
+        scenario.attach_policy(FLocPolicy(FLocConfig()))
+    units = scenario.units
+    start = units.seconds_to_ticks(4.0)
+    monitor = CategorySeriesMonitor(
+        key_fn=lambda pkt: pkt.path_id,
+        bin_ticks=units.seconds_to_ticks(1.0),
+        start_tick=start,
+    )
+    scenario.engine.add_monitor(*scenario.target, monitor)
+    scenario.run_seconds(14.0)
+    n_bins = 10
+    attack = set(scenario.attack_path_ids)
+    legit_means = [
+        units.pkts_per_tick_to_mbps(monitor.mean_rate(pid, n_bins))
+        for pid in scenario.path_ids
+        if pid not in attack
+    ]
+    attack_means = [
+        units.pkts_per_tick_to_mbps(monitor.mean_rate(pid, n_bins))
+        for pid in attack
+    ]
+    fair = units.pkts_per_tick_to_mbps(
+        scenario.capacity / len(scenario.path_ids)
+    )
+    return legit_means, attack_means, fair
+
+
+def main() -> None:
+    rows = []
+    for name in ("droptail", "floc"):
+        legit, attack, fair = run(name)
+        rows.append(
+            [
+                name,
+                min(legit),
+                sum(legit) / len(legit),
+                sum(attack) / len(attack),
+                fair,
+            ]
+        )
+        print(f"  ran {name}")
+    print()
+    print(
+        format_table(
+            ["policy", "worst legit path", "mean legit path",
+             "mean attack path", "fair/path"],
+            rows,
+            title="Shrew attack: per-path bandwidth (Mbps)",
+        )
+    )
+    print()
+    print("expected shape: under drop-tail the synchronized bursts crush")
+    print("legitimate paths; under FLoc every legitimate domain keeps a")
+    print("bandwidth close to its fair per-path allocation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the environment has
+no `wheel` package (offline); configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Measurement and reporting utilities for the evaluation.
+
+* :mod:`~repro.analysis.accounting` — bandwidth breakdowns by the paper's
+  three traffic categories (legitimate flows in legitimate paths,
+  legitimate flows in attack paths, attack flows).
+* :mod:`~repro.analysis.cdf` — empirical CDFs (Figs. 7 and 9 are CDFs of
+  per-flow bandwidth).
+* :mod:`~repro.analysis.timeseries` — per-path/per-category service-rate
+  time series (Fig. 6 style).
+* :mod:`~repro.analysis.report` — plain-text table rendering used by the
+  benchmark harness to print the paper's rows.
+"""
+
+from .accounting import BandwidthBreakdown, categorize_flows, breakdown, per_flow_rates
+from .cdf import empirical_cdf, cdf_at, percentile
+from .timeseries import CategorySeriesMonitor
+from .report import format_table
+
+__all__ = [
+    "BandwidthBreakdown",
+    "categorize_flows",
+    "breakdown",
+    "per_flow_rates",
+    "empirical_cdf",
+    "cdf_at",
+    "percentile",
+    "CategorySeriesMonitor",
+    "format_table",
+]

@@ -1,0 +1,48 @@
+"""Empirical cumulative distribution functions.
+
+The paper's robustness and aggregation results (Figs. 7 and 9) are CDFs
+of per-flow bandwidth; these helpers compute and query them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Points ``(x, F(x))`` of the empirical CDF (right-continuous).
+
+    >>> empirical_cdf([2.0, 1.0, 2.0])
+    [(1.0, 0.3333333333333333), (2.0, 1.0)]
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of ``values`` that are <= ``x``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return bisect.bisect_right(ordered, x) / len(ordered)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (``0 <= q <= 1``) by nearest-rank."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]

@@ -1,0 +1,38 @@
+"""Fairness metrics for per-flow bandwidth distributions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal allocation; ``1/n`` means one flow holds
+    everything.  Returns 1.0 for empty or all-zero inputs (no contention
+    to be unfair about).
+
+    >>> jain_index([1.0, 1.0, 1.0, 1.0])
+    1.0
+    >>> jain_index([4.0, 0.0, 0.0, 0.0])
+    0.25
+    """
+    values = list(values)
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def max_min_ratio(values: Sequence[float], floor: float = 1e-12) -> float:
+    """``max/min`` of a distribution; ``inf`` when some flow is starved."""
+    values = list(values)
+    if not values:
+        return 1.0
+    low = min(values)
+    if low <= floor:
+        return float("inf")
+    return max(values) / low

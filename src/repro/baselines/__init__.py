@@ -1,0 +1,32 @@
+"""Flooding-defense baselines the paper compares against.
+
+* :class:`~repro.baselines.red.RedPolicy` — the RED active queue
+  (the paper's "no attack" fairness reference).
+* :class:`~repro.baselines.red_pd.RedPdPolicy` — RED with Preferential
+  Dropping (Mahajan et al.): per-flow defense driven by drop history.
+* :class:`~repro.baselines.pushback.PushbackPolicy` — aggregate-based
+  congestion control (Ioannidis & Bellovin): identifies high-rate
+  aggregates and rate-limits them.
+* :class:`~repro.baselines.fairshare.FairSharePolicy` — the per-flow
+  fairness (FF) strategy of the paper's Internet-scale comparison
+  (Section VII-C): legitimate flows get priority, attack flows get
+  priority only up to their fair share.
+* :class:`~repro.baselines.cdf_psp.CdfPspPolicy` — history-conformance
+  bandwidth isolation (CDF-PSP, discussed in Section II).
+* no defense — :class:`~repro.net.policy.DropTailPolicy` or
+  :class:`~repro.net.policy.RandomDropPolicy` from the substrate.
+"""
+
+from .cdf_psp import CdfPspPolicy
+from .red import RedPolicy
+from .red_pd import RedPdPolicy
+from .pushback import PushbackPolicy
+from .fairshare import FairSharePolicy
+
+__all__ = [
+    "CdfPspPolicy",
+    "RedPolicy",
+    "RedPdPolicy",
+    "PushbackPolicy",
+    "FairSharePolicy",
+]

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the reproducible figures and their one-line descriptions.
+``run FIG [options]``
+    Run one figure's experiment and print its rows (e.g. ``run fig08``).
+``quickstart``
+    The README quickstart: FLoc on a flooded link, bandwidth breakdown.
+
+Scale/duration flags apply to the functional figures; internet-scale
+figures take ``--variants``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.export import write_csv
+from .analysis.report import format_table
+from .experiments.common import FunctionalSettings
+
+FIGURES = {
+    "fig02": "packet service vs drop rate at a congested link",
+    "fig03": "packet-size distribution (synthetic trace)",
+    "fig04": "TCP window synchronisation and token consumption",
+    "fig06": "attack confinement (tcp/cbr/shrew), per-path bandwidth",
+    "fig07": "robustness CDFs across schemes and attack strengths",
+    "fig08": "differential bandwidth guarantees vs attack rate",
+    "fig09": "legitimate-path aggregation",
+    "fig10": "covert attacks vs per-bot fanout",
+    "fig11": "internet-scale topology statistics (localized/dispersed)",
+    "fig13": "internet-scale bandwidth shares, localized attacks",
+    "fig14": "internet-scale bandwidth shares, dispersed attacks",
+    "fig15": "internet-scale bandwidth shares, separated placement",
+}
+
+
+def _settings(args) -> FunctionalSettings:
+    return FunctionalSettings(
+        scale=args.scale,
+        warmup_seconds=args.warmup,
+        measure_seconds=args.seconds,
+        seed=args.seed,
+    )
+
+
+def _emit(args, name: str, headers, rows, title: str) -> None:
+    """Print a result table; optionally mirror it to ``--csv DIR``."""
+    sys.stdout.write(format_table(headers, rows, title=title))
+    sys.stdout.write("\n")
+    if getattr(args, "csv", None):
+        path = write_csv(f"{args.csv}/{name}.csv", headers, rows)
+        sys.stdout.write(f"wrote {path}\n")
+
+
+def _run_figure(args) -> int:
+    fig = args.figure
+    out = sys.stdout
+    if fig == "fig02":
+        from .experiments.fig02 import run_fig02
+
+        result = run_fig02(_settings(args))
+        _emit(args, fig, ["second", "service pkt/s", "drop pkt/s"],
+              result.rows, FIGURES[fig])
+        out.write(
+            f"service/drop ratio: {result.service_to_drop_ratio:.1f}\n"
+        )
+    elif fig == "fig03":
+        from .experiments.fig03 import run_fig03
+
+        result = run_fig03(seed=args.seed)
+        rows = sorted(result.mode_fractions.items())
+        _emit(args, fig, ["size (B)", "fraction"], rows, FIGURES[fig])
+    elif fig == "fig04":
+        from .experiments.fig04 import run_fig04
+
+        result = run_fig04(seed=args.seed)
+        _emit(
+            args, fig, ["case", "token utilization"],
+            [
+                ["unsynchronized", result.utilization_unsync],
+                ["synchronized", result.utilization_sync],
+                ["partial", result.utilization_partial],
+            ],
+            FIGURES[fig],
+        )
+    elif fig == "fig06":
+        from .experiments.common import mean
+        from .experiments.fig06 import run_fig06
+
+        rows = []
+        for kind in ("tcp", "cbr", "shrew"):
+            result = run_fig06(kind, _settings(args))
+            rows.append(
+                [
+                    kind,
+                    result.fair_path_mbps,
+                    mean(result.legit_path_means),
+                    mean(result.attack_path_means),
+                ]
+            )
+        _emit(
+            args, fig,
+            ["attack", "fair Mbps/path", "legit-path mean",
+             "attack-path mean"],
+            rows, FIGURES[fig],
+        )
+    elif fig == "fig07":
+        from .experiments.fig07 import run_fig07
+
+        result = run_fig07(_settings(args))
+        _emit(args, fig, ["scheme", "bot Mbps", "mean", "p10", "p50", "p90"],
+              result.summary_rows(), FIGURES[fig])
+        out.write(f"ideal fair per-flow: {result.ideal_flow_mbps:.3f} Mbps\n")
+    elif fig == "fig08":
+        from .experiments.fig08 import run_fig08
+
+        result = run_fig08(_settings(args))
+        _emit(
+            args, fig,
+            ["scheme", "bot Mbps", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(), FIGURES[fig],
+        )
+    elif fig == "fig09":
+        from .experiments.common import mean
+        from .experiments.fig09 import run_fig09
+
+        result = run_fig09(_settings(args))
+        rows = [
+            ["without aggregation",
+             mean(result.without_agg.small_domain_rates),
+             mean(result.without_agg.big_domain_rates),
+             result.without_agg.small_big_ratio],
+            ["with aggregation",
+             mean(result.with_agg.small_domain_rates),
+             mean(result.with_agg.big_domain_rates),
+             result.with_agg.small_big_ratio],
+        ]
+        _emit(
+            args, fig,
+            ["variant", "small-domain Mbps", "big-domain Mbps", "ratio"],
+            rows, FIGURES[fig],
+        )
+    elif fig == "fig10":
+        from .experiments.fig10 import run_fig10
+
+        result = run_fig10(_settings(args))
+        _emit(args, fig, ["scheme", "fanout", "legit total", "attack", "util"],
+              result.rows(), FIGURES[fig])
+    elif fig == "fig11":
+        from .experiments.fig11 import run_fig11
+
+        rows = []
+        for placement in ("localized", "dispersed"):
+            for s in run_fig11(placement, variants=tuple(args.variants)):
+                rows.append(
+                    [placement, s.variant, s.n_as, s.n_attack_ases,
+                     s.red_links, round(s.bot_concentration_top_10pct, 3)]
+                )
+        _emit(
+            args, fig,
+            ["placement", "variant", "ASes", "attack ASes", "red links",
+             "bot concentration"],
+            rows, FIGURES[fig],
+        )
+    elif fig in ("fig13", "fig14", "fig15"):
+        from .experiments.fig13 import run_fig13
+
+        placement = {"fig13": "localized", "fig14": "dispersed",
+                     "fig15": "separated"}[fig]
+        result = run_fig13(placement=placement, variants=tuple(args.variants))
+        _emit(
+            args, fig,
+            ["variant", "strategy", "legit-legit", "legit-attack", "attack",
+             "util"],
+            result.rows(), FIGURES[fig],
+        )
+    else:
+        out.write(f"unknown figure {fig!r}; see `python -m repro list`\n")
+        return 2
+    return 0
+
+
+def _quickstart(args) -> int:
+    from .analysis.accounting import breakdown
+    from .core.config import FLocConfig
+    from .core.router import FLocPolicy
+    from .traffic.scenarios import build_tree_scenario
+
+    scenario = build_tree_scenario(
+        scale_factor=args.scale, attack_kind="cbr", attack_rate_mbps=2.0,
+        seed=args.seed,
+    )
+    scenario.attach_policy(FLocPolicy(FLocConfig(s_max=25)))
+    monitor = scenario.add_target_monitor(start_seconds=args.warmup)
+    scenario.run_seconds(args.warmup + args.seconds)
+    window = scenario.units.seconds_to_ticks(args.seconds)
+    result = breakdown(
+        monitor,
+        list(scenario.legit_flows) + list(scenario.attack_flows),
+        scenario.attack_path_ids,
+        scenario.capacity,
+        window,
+    )
+    sys.stdout.write(
+        format_table(
+            ["category", "share"],
+            [
+                ["legit (clean domains)", result.legit_in_legit],
+                ["legit (attack domains)", result.legit_in_attack],
+                ["attack", result.attack],
+            ],
+            title="FLoc on a flooded link",
+        )
+    )
+    sys.stdout.write("\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLoc reproduction: run the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    run = sub.add_parser("run", help="run one figure's experiment")
+    run.add_argument("figure", choices=sorted(FIGURES), metavar="FIG")
+    _add_common(run)
+    run.add_argument(
+        "--variants", nargs="+", default=["f-root"],
+        help="skitter-map variants for internet-scale figures",
+    )
+
+    quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
+    _add_common(quick)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="flow/capacity scale factor (1.0 = paper)")
+    parser.add_argument("--seconds", type=float, default=8.0,
+                        help="measurement window, simulated seconds")
+    parser.add_argument("--warmup", type=float, default=4.0,
+                        help="warmup before measurement, simulated seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write the rows to DIR/<figure>.csv")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        rows = [[fig, desc] for fig, desc in sorted(FIGURES.items())]
+        sys.stdout.write(format_table(["figure", "reproduces"], rows))
+        sys.stdout.write("\n")
+        return 0
+    if args.command == "run":
+        return _run_figure(args)
+    return _quickstart(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

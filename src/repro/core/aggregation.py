@@ -1,0 +1,380 @@
+"""Path-identifier aggregation (paper Section IV-C).
+
+Two complementary aggregations run at a congested router:
+
+* **Attack-path aggregation** (Section IV-C.1, Algorithm 1): when the
+  number of active path identifiers exceeds ``|S|_max``, path identifiers
+  of highly contaminated domains are merged — starting from *nearby*
+  domains (longest common suffix) — until at most
+  ``|S|_max - |S^L|`` attack identifiers remain.  Because bandwidth is
+  assigned per identifier, merging ``k`` attack paths into one reassigns
+  ``k - 1`` bandwidth shares to legitimate paths.  The greedy algorithm
+  minimises the *aggregation cost* ``C^A(R) = mean conformance of the
+  leaf paths under R`` (aggregating low-conformance subtrees first).
+
+* **Legitimate-path aggregation** (Section IV-C.2, Eq. IV.8): legitimate
+  paths with different flow populations are merged — the merged group is
+  allocated bandwidth *in proportion to the number of aggregated paths* —
+  whenever the net conformance change
+  ``C^L(R) = mean(E_j) - sum(E_j n_j) / sum(n_j)`` is negative, i.e. the
+  merge raises flow-weighted conformance and thus link goodput.  A merge
+  is vetoed if it would raise any member path's bandwidth allocation by
+  more than a configured fraction (50 % in the paper) — the guard that
+  stops covert paths with huge flow counts from soaking legitimate
+  bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .pathid import PathId, PathTree, PathTreeNode
+
+#: Group keys: a singleton group is keyed by its path id; an aggregated
+#: group by ("AGG-A"/"AGG-L", router-side suffix).
+GroupKey = Tuple
+
+
+class AggregationPlan:
+    """The result of an aggregation pass: path -> group, group -> share."""
+
+    def __init__(self) -> None:
+        self.group_of: Dict[PathId, GroupKey] = {}
+        self.members: Dict[GroupKey, List[PathId]] = {}
+        self.shares: Dict[GroupKey, float] = {}
+
+    @classmethod
+    def identity(cls, pids: Iterable[PathId]) -> "AggregationPlan":
+        """Every path is its own group with one bandwidth share."""
+        plan = cls()
+        for pid in pids:
+            plan.add_group(pid, [pid], 1.0)
+        return plan
+
+    def add_group(
+        self, key: GroupKey, members: Sequence[PathId], share: float
+    ) -> None:
+        """Register a group; every member maps to it."""
+        self.members[key] = list(members)
+        self.shares[key] = share
+        for pid in members:
+            self.group_of[pid] = key
+
+    def group(self, pid: PathId) -> GroupKey:
+        """Group key of ``pid`` (unknown paths are their own group)."""
+        return self.group_of.get(pid, pid)
+
+    def total_shares(self) -> float:
+        """Sum of bandwidth shares across groups."""
+        return sum(self.shares.values())
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct path identifiers after aggregation."""
+        return len(self.members)
+
+    def aggregated_groups(self) -> List[GroupKey]:
+        """Keys of groups holding more than one original path."""
+        return [k for k, v in self.members.items() if len(v) > 1]
+
+
+# ----------------------------------------------------------------------
+# attack-path aggregation (Algorithm 1)
+# ----------------------------------------------------------------------
+def _aggregation_cost(node: PathTreeNode, conformance: Dict[PathId, float]) -> float:
+    leaves = node.descend_leaves()
+    if not leaves:
+        return 0.0
+    return sum(conformance.get(pid, 1.0) for pid in leaves) / len(leaves)
+
+
+def aggregate_attack_paths(
+    attack_pids: Sequence[PathId],
+    conformance: Dict[PathId, float],
+    n_legit_paths: int,
+    s_max: int,
+) -> List[Tuple[PathId, List[PathId]]]:
+    """Greedy Algorithm 1: choose aggregation nodes in the attack tree.
+
+    Returns ``[(suffix, member-paths), ...]`` — each entry is one merged
+    attack identifier.  The number of attack identifiers after aggregation
+    is at most ``max(1, s_max - n_legit_paths)``.
+
+    The greedy solution's distance from optimal is bounded by the product
+    of ``E_th`` and the degree of the last added node (paper Section
+    IV-C.1); we also guarantee feasibility by falling back to merging all
+    attack paths into a single identifier when the budget is smaller than
+    any subtree decomposition allows.
+    """
+    if s_max < 1:
+        raise ConfigError(f"s_max must be >= 1, got {s_max}")
+    attack_pids = list(dict.fromkeys(attack_pids))
+    budget = max(1, s_max - n_legit_paths)
+    if len(attack_pids) <= budget:
+        return []
+
+    tree = PathTree(attack_pids)
+    # candidate aggregation points: internal nodes covering >= 2 paths,
+    # deepest (nearest the origins) first so "aggregation starts from
+    # nearby domains".
+    candidates = [
+        node
+        for node in tree.nodes()
+        if len(node.descend_leaves()) >= 2 and node.children
+    ]
+    if not candidates:
+        return [((), attack_pids)] if len(attack_pids) > budget else []
+
+    costs = {node.suffix: _aggregation_cost(node, conformance) for node in candidates}
+    # sort: cost ascending, then deeper nodes first (longest suffix)
+    ordered = sorted(candidates, key=lambda n: (costs[n.suffix], -n.depth))
+
+    solution: List[PathTreeNode] = []
+
+    def is_suffix(short: PathId, long: PathId) -> bool:
+        return len(short) <= len(long) and long[len(long) - len(short) :] == short
+
+    def covered(node: PathTreeNode, chosen: List[PathTreeNode]) -> bool:
+        # two aggregation points overlap iff one subtree contains the other,
+        # i.e. one node's suffix is a suffix of the other's.
+        return any(
+            is_suffix(other.suffix, node.suffix) or is_suffix(node.suffix, other.suffix)
+            for other in chosen
+        )
+
+    def reduction(chosen: List[PathTreeNode]) -> int:
+        return sum(len(node.descend_leaves()) - 1 for node in chosen)
+
+    needed = len(attack_pids) - budget
+    for node in ordered:
+        if reduction(solution) >= needed:
+            break
+        if covered(node, solution):
+            continue
+        solution.append(node)
+        # Algorithm 1 step 2: a single candidate replaces the current
+        # solution set if it is cheaper than the set's total cost while
+        # costing more than any individual member (an ancestor covering
+        # them all), provided it still achieves the needed reduction.
+        if len(solution) >= 2:
+            total = sum(costs[n.suffix] for n in solution)
+            worst = max(costs[n.suffix] for n in solution)
+            for challenger in ordered:
+                cost = costs[challenger.suffix]
+                if not worst < cost < total:
+                    continue
+                if len(challenger.descend_leaves()) - 1 >= needed:
+                    solution = [challenger]
+                    break
+
+    if reduction(solution) < needed:
+        # fall back: merge every attack path into one identifier
+        return [((), attack_pids)]
+
+    groups: List[Tuple[PathId, List[PathId]]] = []
+    for node in solution:
+        groups.append((node.suffix, node.descend_leaves()))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# legitimate-path aggregation (Eq. IV.8)
+# ----------------------------------------------------------------------
+def legitimate_aggregation_cost(
+    members: Sequence[PathId],
+    conformance: Dict[PathId, float],
+    flow_counts: Dict[PathId, float],
+) -> float:
+    """Eq. (IV.8): mean conformance minus flow-weighted mean conformance."""
+    e = [conformance.get(pid, 1.0) for pid in members]
+    n = [max(0.0, flow_counts.get(pid, 0.0)) for pid in members]
+    total_flows = sum(n)
+    mean_e = sum(e) / len(e)
+    if total_flows <= 0:
+        return 0.0
+    weighted = sum(ei * ni for ei, ni in zip(e, n)) / total_flows
+    return mean_e - weighted
+
+
+class _LegitUnit:
+    """A current aggregation unit: one path or an already-merged group."""
+
+    __slots__ = ("paths", "flows", "conformance", "suffix")
+
+    def __init__(
+        self,
+        paths: List[PathId],
+        flows: float,
+        conformance: float,
+        suffix: PathId = (),
+    ):
+        self.paths = paths
+        self.flows = flows
+        self.conformance = conformance
+        self.suffix = suffix
+
+
+def aggregate_legitimate_paths(
+    legit_pids: Sequence[PathId],
+    conformance: Dict[PathId, float],
+    flow_counts: Dict[PathId, float],
+    bandwidth_increase_cap: float = 0.5,
+    cost_tolerance: float = 0.02,
+) -> List[Tuple[PathId, List[PathId]]]:
+    """Merge legitimate paths where Eq. (IV.8) is non-positive.
+
+    Aggregation proceeds bottom-up ("starts from nearby domains"): at each
+    internal node of the legitimate traffic tree the current units below
+    it (paths, or groups merged deeper down) are merged into one when
+
+    * the Eq. (IV.8) cost over the units is <= ``cost_tolerance`` — the
+      merge does not (materially) reduce flow-weighted conformance.  With
+      equal conformance the cost is exactly 0 and the merge simply makes
+      allocation proportional to flow counts, the Fig. 9 behaviour; the
+      tolerance absorbs identification noise that would otherwise leave
+      near-tie merges unmade.  And
+    * no unit's per-flow bandwidth allocation would grow by more than
+      ``bandwidth_increase_cap`` (50 % in the paper) — the guard that
+      keeps covert paths with huge flow counts from soaking bandwidth
+      (Section IV-C.2).
+
+    Returns ``[(suffix, member paths), ...]`` for groups of >= 2 paths.
+    """
+    legit_pids = list(dict.fromkeys(legit_pids))
+    if len(legit_pids) < 2:
+        return []
+    tree = PathTree(legit_pids)
+    factor_cap = 1.0 + bandwidth_increase_cap
+
+    def cost_ok(units: List[_LegitUnit]) -> bool:
+        total_flows = sum(u.flows for u in units)
+        if total_flows <= 0:
+            return False
+        mean_e = sum(u.conformance for u in units) / len(units)
+        weighted_e = sum(u.conformance * u.flows for u in units) / total_flows
+        return mean_e - weighted_e <= cost_tolerance
+
+    def cap_violators(units: List[_LegitUnit]) -> List[_LegitUnit]:
+        """Units whose per-flow allocation would grow past the cap.
+
+        Allocation before is ``|paths_u| / n_u`` shares per flow; after
+        the merge it is ``|paths_G| / n_G``.
+        """
+        total_flows = sum(u.flows for u in units)
+        n_paths = sum(len(u.paths) for u in units)
+        if total_flows <= 0:
+            return []
+        after = n_paths / total_flows
+        out = []
+        for unit in units:
+            if unit.flows <= 0:
+                continue
+            before = len(unit.paths) / unit.flows
+            if after / before > factor_cap:
+                out.append(unit)
+        return out
+
+    def try_merge(
+        units: List[_LegitUnit], suffix: PathId
+    ) -> Optional[List[_LegitUnit]]:
+        """Merge as many of ``units`` as allowed; None if no merge."""
+        candidates = list(units)
+        # iteratively exclude covert-guard violators: removing one unit
+        # changes the post-merge allocation, so repeat to a fixed point
+        while len(candidates) >= 2:
+            violators = cap_violators(candidates)
+            if not violators:
+                break
+            excluded_ids = {id(v) for v in violators}
+            candidates = [u for u in candidates if id(u) not in excluded_ids]
+        if len(candidates) < 2 or not cost_ok(candidates):
+            return None
+        total_flows = sum(u.flows for u in candidates)
+        weighted_e = (
+            sum(u.conformance * u.flows for u in candidates) / total_flows
+        )
+        merged = _LegitUnit(
+            [pid for u in candidates for pid in u.paths],
+            total_flows,
+            weighted_e,
+            suffix=suffix,
+        )
+        kept_ids = {id(u) for u in candidates}
+        rest = [u for u in units if id(u) not in kept_ids]
+        return [merged] + rest
+
+    def merge_at(node) -> List[_LegitUnit]:
+        # gather units from children (recursively merged) and own leaves;
+        # unmerged units propagate upward so every ancestor gets a chance
+        units: List[_LegitUnit] = []
+        for child in node.children.values():
+            units.extend(merge_at(child))
+        for pid in node.leaf_pids:
+            units.append(
+                _LegitUnit(
+                    [pid],
+                    max(0.0, flow_counts.get(pid, 0.0)),
+                    conformance.get(pid, 1.0),
+                    suffix=pid,
+                )
+            )
+        if len(units) < 2:
+            return units
+        merged = try_merge(units, node.suffix)
+        return merged if merged is not None else units
+
+    final_units = merge_at(tree.root)
+    return [
+        (unit.suffix, unit.paths)
+        for unit in final_units
+        if len(unit.paths) >= 2
+    ]
+
+
+# ----------------------------------------------------------------------
+# combined plan
+# ----------------------------------------------------------------------
+def build_plan(
+    legit_pids: Sequence[PathId],
+    attack_pids: Sequence[PathId],
+    conformance: Dict[PathId, float],
+    flow_counts: Dict[PathId, float],
+    s_max: Optional[int],
+    bandwidth_increase_cap: float = 0.5,
+    legitimate_aggregation: bool = True,
+    cost_tolerance: float = 0.02,
+) -> AggregationPlan:
+    """Run both aggregations and assemble the group/share plan.
+
+    Attack groups get one share (the punishment); merged legitimate groups
+    get one share per member path (proportional allocation); everything
+    else keeps its own single share.
+    """
+    plan = AggregationPlan()
+    remaining_attack = list(dict.fromkeys(attack_pids))
+    remaining_legit = [p for p in dict.fromkeys(legit_pids) if p not in set(remaining_attack)]
+
+    if s_max is not None and remaining_attack:
+        for suffix, members in aggregate_attack_paths(
+            remaining_attack, conformance, len(remaining_legit), s_max
+        ):
+            plan.add_group(("AGG-A",) + tuple(suffix), members, 1.0)
+            member_set = set(map(tuple, members))
+            remaining_attack = [p for p in remaining_attack if tuple(p) not in member_set]
+
+    if legitimate_aggregation and len(remaining_legit) >= 2:
+        for suffix, members in aggregate_legitimate_paths(
+            remaining_legit,
+            conformance,
+            flow_counts,
+            bandwidth_increase_cap,
+            cost_tolerance=cost_tolerance,
+        ):
+            plan.add_group(("AGG-L",) + tuple(suffix), members, float(len(members)))
+            member_set = set(map(tuple, members))
+            remaining_legit = [p for p in remaining_legit if tuple(p) not in member_set]
+
+    for pid in remaining_legit + remaining_attack:
+        plan.add_group(pid, [pid], 1.0)
+    return plan

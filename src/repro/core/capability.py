@@ -1,0 +1,91 @@
+"""Two-part network-layer capabilities (paper Sections III-A and IV-B.3).
+
+During connection establishment a router issues, for a flow
+``(src, dst, path_id)``, the capability ``C = C0 || C1`` where
+
+* ``C0 = Hash(IP_s, IP_d, S_i, K0)`` authenticates the flow identifier —
+  only this router can verify it, so identifiers cannot be forged, and
+* ``C1 = Hash(IP_s, F(IP_d), S_i, K1)`` with ``F`` uniform on
+  ``[0, n_max - 1]`` restricts a source to at most ``n_max`` *distinct*
+  capabilities through this router and lets the router account for the
+  total bandwidth those capabilities request concurrently.
+
+The ``C1`` bucket is the covert-attack countermeasure: a bot that opens
+many low-rate flows to different destinations sees them all collapse into
+``n_max`` accounting units, whose combined rate is what MTD-based
+identification observes (Section VI-D).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Tuple
+
+from .pathid import PathId
+
+#: Bytes kept from each hash half; 8 bytes is ample for simulation.
+_DIGEST_BYTES = 8
+
+
+def _encode(*parts) -> bytes:
+    return "|".join(str(p) for p in parts).encode()
+
+
+class CapabilityIssuer:
+    """Issues and verifies capabilities; computes covert-defense keys.
+
+    Parameters
+    ----------
+    secret:
+        The router secret ``K_R``; two subkeys are derived from it for the
+        two capability halves.
+    n_max:
+        Maximum concurrent capabilities (fanout buckets) per source
+        (configurable per router, paper footnote 11).
+    """
+
+    def __init__(self, secret: bytes, n_max: int = 2) -> None:
+        if n_max < 1:
+            raise ValueError(f"n_max must be >= 1, got {n_max}")
+        self._k0 = hmac.new(secret, b"C0", hashlib.sha256).digest()
+        self._k1 = hmac.new(secret, b"C1", hashlib.sha256).digest()
+        self.n_max = n_max
+
+    # ------------------------------------------------------------------
+    # issue / verify
+    # ------------------------------------------------------------------
+    def fanout_bucket(self, dst_addr) -> int:
+        """``F(IP_d)``: hash the destination into ``[0, n_max - 1]``."""
+        digest = hashlib.sha256(_encode("F", dst_addr)).digest()
+        return int.from_bytes(digest[:4], "big") % self.n_max
+
+    def issue(self, src_addr, dst_addr, pid: PathId) -> bytes:
+        """Issue ``C0 || C1`` for a new connection."""
+        c0 = hmac.new(
+            self._k0, _encode(src_addr, dst_addr, pid), hashlib.sha256
+        ).digest()[:_DIGEST_BYTES]
+        c1 = hmac.new(
+            self._k1,
+            _encode(src_addr, self.fanout_bucket(dst_addr), pid),
+            hashlib.sha256,
+        ).digest()[:_DIGEST_BYTES]
+        return c0 + c1
+
+    def verify(self, capability: bytes, src_addr, dst_addr, pid: PathId) -> bool:
+        """Check both halves against the packet's addresses and path."""
+        if capability is None or len(capability) != 2 * _DIGEST_BYTES:
+            return False
+        return hmac.compare_digest(capability, self.issue(src_addr, dst_addr, pid))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def account_key(self, src_addr, dst_addr, pid: PathId) -> Tuple:
+        """The unit at which the router accounts flow bandwidth and drops.
+
+        All flows of one source whose destinations hash into the same
+        ``C1`` bucket share an accounting unit — this is what defeats the
+        covert attack's per-flow innocence.
+        """
+        return (src_addr, self.fanout_bucket(dst_addr), pid)

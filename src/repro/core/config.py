@@ -1,0 +1,140 @@
+"""Configuration for the FLoc router subsystem.
+
+Defaults follow the paper's simulation settings where given (beta = 0.2,
+Q_min = 20 % of the buffer, RTT estimates halved, n_max = 2 in the covert
+experiment) and sensible engineering choices elsewhere.  All times are in
+engine ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass
+class FLocConfig:
+    """Tunable parameters of :class:`~repro.core.router.FLocPolicy`.
+
+    Attributes
+    ----------
+    s_max:
+        ``|S|_max`` — the maximum number of bandwidth-guaranteed path
+        identifiers; ``None`` disables attack-path aggregation
+        (Section IV-C.1, footnote 5: configurable per router).
+    n_max:
+        Concurrent-capability (fanout) limit per source (Section IV-B.3).
+    beta:
+        Smoothing factor of the path-conformance EWMA, Eq. (IV.6).
+    conformance_threshold:
+        ``E_th`` — paths below it belong to the attack tree.
+    q_min_fraction:
+        ``Q_min`` as a fraction of the buffer size (paper: 20 %).
+    rtt_correction:
+        Multiplier applied to the measured average path RTT to avoid
+        over-estimation (paper Section V-A: divide by 2).
+    measure_interval:
+        Ticks between state refreshes (flow counts, bucket parameters,
+        attack identification, conformance update).
+    aggregation_interval:
+        Ticks between aggregation passes (both kinds).
+    flow_active_window:
+        A flow (accounting unit) counts as active if it sent a packet within
+        this many ticks.
+    mtd_window_periods:
+        ``k`` in Eq. (IV.4): MTD is measured over ``k`` token periods
+        (at least ``n_i``; this sets the floor).
+    attack_mtd_fraction:
+        A flow is identified as an attack flow when its measured MTD falls
+        below this fraction of the reference MTD ``n_i * T_Si``.
+    block_mtd_fraction:
+        Flows whose MTD drops below this fraction of the reference are
+        blocked outright for ``block_ticks`` (Section V-B.3: "we block
+        those high-rate flows for a period of time").
+    block_ticks:
+        Duration of an outright block.
+    legit_agg_bandwidth_cap:
+        Legitimate paths are not aggregated if any member's bandwidth
+        allocation would grow by more than this fraction (paper: 50 %),
+        the covert-path protection of Section IV-C.2.
+    preferential_drop:
+        Master switch for the Eq. (IV.5) policy (ablation knob).
+    use_drop_filter:
+        Use the approximate Bloom-filter drop store of Section V-B instead
+        of exact per-flow tracking (scalable mode).
+    capability_checks:
+        Verify capabilities on data packets (drop spoofed traffic).
+    min_guaranteed_share:
+        When ``s_max`` is ``None``, aggregation can still be triggered so
+        every active path keeps at least this bandwidth share; ``None``
+        disables that trigger.
+    """
+
+    s_max: Optional[int] = None
+    n_max: int = 2
+    beta: float = 0.2
+    conformance_threshold: float = 0.5
+    q_min_fraction: float = 0.2
+    rtt_correction: float = 0.5
+    measure_interval: int = 50
+    aggregation_interval: int = 200
+    flow_active_window: int = 300
+    mtd_window_periods: int = 8
+    attack_mtd_fraction: float = 0.5
+    block_mtd_fraction: float = 1.0 / 64.0
+    block_ticks: int = 500
+    legit_agg_bandwidth_cap: float = 0.5
+    preferential_drop: bool = True
+    legitimate_aggregation: bool = True
+    use_drop_filter: bool = False
+    #: Estimate per-path flow counts from observed drop rates and RTTs via
+    #: the Section V-B.1 inversion (``n = 4 C RTT / (3 W)`` with ``W``
+    #: recovered from ``delta = 8 C / (3 W (W + 2))``) instead of exact
+    #: accounting — the fully scalable configuration.
+    estimate_flow_counts: bool = False
+    capability_checks: bool = True
+    min_guaranteed_share: Optional[float] = None
+    #: Per-domain bandwidth weights (origin AS -> weight).  The paper's
+    #: footnote 1: "for different domains having different numbers of
+    #: sources, proportional rather than equal bandwidth allocation can be
+    #: supported ... provided that the number of domains with a large
+    #: number of legitimate sources are known (e.g., via ISP service
+    #: agreement)".  Unlisted domains weigh 1.0; aggregated *attack*
+    #: groups always hold a single share (the aggregation penalty).
+    domain_weights: Optional[Dict[int, float]] = None
+    secret: bytes = b"floc-router-secret"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigError(f"beta must be in (0, 1), got {self.beta}")
+        if not 0.0 <= self.conformance_threshold <= 1.0:
+            raise ConfigError(
+                f"conformance_threshold must be in [0, 1], got "
+                f"{self.conformance_threshold}"
+            )
+        if not 0.0 < self.q_min_fraction < 1.0:
+            raise ConfigError(
+                f"q_min_fraction must be in (0, 1), got {self.q_min_fraction}"
+            )
+        if self.rtt_correction <= 0:
+            raise ConfigError(
+                f"rtt_correction must be positive, got {self.rtt_correction}"
+            )
+        if self.s_max is not None and self.s_max < 1:
+            raise ConfigError(f"s_max must be >= 1, got {self.s_max}")
+        if self.measure_interval < 1 or self.aggregation_interval < 1:
+            raise ConfigError("intervals must be >= 1 tick")
+        if self.domain_weights is not None:
+            for asn, weight in self.domain_weights.items():
+                if weight <= 0:
+                    raise ConfigError(
+                        f"domain weight for AS {asn} must be positive, "
+                        f"got {weight}"
+                    )
+        if not 0.0 < self.attack_mtd_fraction <= 1.0:
+            raise ConfigError(
+                f"attack_mtd_fraction must be in (0, 1], got "
+                f"{self.attack_mtd_fraction}"
+            )

@@ -1,0 +1,67 @@
+"""Path-conformance tracking (paper Section IV-C, Eq. IV.6).
+
+The *conformance* of a path identifier is the fraction of its flows that
+are legitimate, smoothed over time:
+
+    ``E(t_k) = beta * (1 - n_attack / n) + (1 - beta) * E(t_{k-1})``
+
+with ``beta = 0.2`` in the paper's simulations.  Paths whose conformance
+falls below the threshold ``E_th`` form the attack tree and are candidates
+for attack-path aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from ..errors import ConfigError
+from .pathid import PathId
+
+
+class ConformanceTracker:
+    """Per-path EWMA of the legitimate-flow fraction."""
+
+    def __init__(self, beta: float = 0.2, initial: float = 1.0) -> None:
+        if not 0.0 < beta < 1.0:
+            raise ConfigError(f"beta must be in (0, 1), got {beta}")
+        if not 0.0 <= initial <= 1.0:
+            raise ConfigError(f"initial must be in [0, 1], got {initial}")
+        self.beta = beta
+        self.initial = initial
+        self._values: Dict[PathId, float] = {}
+
+    def update(self, pid: PathId, n_flows: int, n_attack: int) -> float:
+        """Fold one measurement interval into the path's conformance."""
+        if n_flows < 0 or n_attack < 0 or n_attack > max(n_flows, 0):
+            raise ConfigError(
+                f"invalid flow counts n={n_flows}, attack={n_attack}"
+            )
+        instant = 1.0 if n_flows == 0 else 1.0 - n_attack / n_flows
+        previous = self._values.get(pid, self.initial)
+        value = self.beta * instant + (1.0 - self.beta) * previous
+        self._values[pid] = value
+        return value
+
+    def value(self, pid: PathId) -> float:
+        """Current conformance of ``pid`` (paths start fully conformant)."""
+        return self._values.get(pid, self.initial)
+
+    def values(self) -> Dict[PathId, float]:
+        """Snapshot of all tracked conformance values."""
+        return dict(self._values)
+
+    def partition(
+        self, pids: Iterable[PathId], threshold: float
+    ) -> Tuple[list, list]:
+        """Split paths into (legitimate, attack) by the threshold ``E_th``."""
+        legit, attack = [], []
+        for pid in pids:
+            if self.value(pid) < threshold:
+                attack.append(pid)
+            else:
+                legit.append(pid)
+        return legit, attack
+
+    def forget(self, pid: PathId) -> None:
+        """Drop state for a path that disappeared."""
+        self._values.pop(pid, None)

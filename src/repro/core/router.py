@@ -1,0 +1,577 @@
+"""The FLoc router subsystem as a link admission policy.
+
+:class:`FLocPolicy` plugs into the simulation engine at the flooded link
+and implements the full paper pipeline:
+
+1. **capabilities** — SYNs passing the router get a two-part capability
+   stamped; data packets are verified (spoofed traffic is dropped) and
+   mapped to their *accounting unit* (source x fanout-bucket x path), the
+   covert-attack countermeasure of Section IV-B.3;
+2. **per-path state** — active-flow counts, request rate ``lambda_Si``
+   (EWMA), and path RTTs measured from the SYN -> first-data interval and
+   deliberately scaled down (Section V-A);
+3. **token buckets** — one per path-identifier group, parameterised from
+   the analytic model (Eqs. IV.1-IV.3) at every measurement interval;
+4. **queue modes** — uncongested / congested / flooding admission exactly
+   as Section V-A specifies, including early bucket activation for
+   over-subscribing paths and the random-threshold neutral drop;
+5. **MTD-based identification** — drops feed per-unit MTD estimates
+   (exact tracker or the scalable Bloom filter); attack flows are
+   preferentially dropped per Eq. (IV.5), extreme flows blocked
+   (Section V-B.3); attack paths are flagged per Section IV-B.1;
+6. **conformance and aggregation** — Eq. (IV.6) conformance drives
+   attack-path aggregation (Algorithm 1) and legitimate-path aggregation
+   (Eq. IV.8) at every aggregation interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..net.packet import DATA, SYN, Packet
+from ..net.policy import LinkPolicy
+from ..tcp import model
+from .aggregation import AggregationPlan, build_plan
+from .capability import CapabilityIssuer
+from .config import FLocConfig
+from .conformance import ConformanceTracker
+from .dropfilter import DropRecordFilter
+from .mtd import INFINITE_MTD, FlowDropTracker, MtdClassifier
+from .pathid import PathId
+from .queue_manager import QueueManager, QueueMode
+from .tokenbucket import PathTokenBucket
+
+
+class _PathState:
+    """Mutable per-origin-path bookkeeping."""
+
+    __slots__ = (
+        "pid",
+        "flows",  # accounting unit -> last-seen tick
+        "attack_flows",  # identified attack units
+        "attack_streak",  # unit -> consecutive intervals identified
+        "syn_ticks",  # flow_id -> SYN pass tick (for RTT)
+        "rtt_ewma",
+        "arrivals",  # data arrivals in the current measurement interval
+        "lambda_rate",  # EWMA request rate, packets/tick
+        "last_arrival",
+    )
+
+    def __init__(self, pid: PathId, initial_rtt: float) -> None:
+        self.pid = pid
+        self.flows: Dict[Hashable, int] = {}
+        self.attack_flows: set = set()
+        self.attack_streak: Dict[Hashable, int] = {}
+        self.syn_ticks: Dict[int, int] = {}
+        self.rtt_ewma = initial_rtt
+        self.arrivals = 0
+        self.lambda_rate = 0.0
+        self.last_arrival = 0
+
+    @property
+    def n_flows(self) -> int:
+        return max(1, len(self.flows))
+
+
+class _GroupState:
+    """Per-group (post-aggregation path identifier) bandwidth control."""
+
+    __slots__ = (
+        "key",
+        "members",
+        "share",
+        "bucket",
+        "bandwidth",
+        "measured_ref_mtd",
+        "interval_drops",
+        "drop_rate_ewma",
+    )
+
+    def __init__(self, key, members, share, bucket, bandwidth) -> None:
+        self.key = key
+        self.members: List[PathId] = members
+        self.share = share
+        self.bucket: PathTokenBucket = bucket
+        self.bandwidth = bandwidth
+        # reference MTD measured from the group's actual aggregate drop
+        # rate: n_g * window / drops.  Under strict token admission the
+        # bucket makes one drop per period, so this equals the paper's
+        # n_i * T_Si; in congested mode (random-threshold drops, fewer of
+        # them) it scales the reference so the MTD *ratio* — which is what
+        # identifies attack flows, since drops are proportional to send
+        # rates — stays meaningful.
+        self.measured_ref_mtd: Optional[float] = None
+        self.interval_drops = 0
+        self.drop_rate_ewma = 0.0
+
+
+class FLocPolicy(LinkPolicy):
+    """FLoc admission control for one congested link."""
+
+    def __init__(self, config: Optional[FLocConfig] = None) -> None:
+        self.cfg = config or FLocConfig()
+        self.issuer = CapabilityIssuer(self.cfg.secret, n_max=self.cfg.n_max)
+        self.classifier = MtdClassifier(
+            attack_mtd_fraction=self.cfg.attack_mtd_fraction,
+            block_mtd_fraction=self.cfg.block_mtd_fraction,
+        )
+        self.conformance = ConformanceTracker(beta=self.cfg.beta)
+        self.paths: Dict[PathId, _PathState] = {}
+        self.groups: Dict[Tuple, _GroupState] = {}
+        self.plan = AggregationPlan()
+        self._blocked: Dict[Hashable, int] = {}
+        self._initial_rtt = 12.0
+        # drop-cause counters, for experiments and tests
+        self.drop_stats = {
+            "spoofed": 0,
+            "blocked": 0,
+            "preferential": 0,
+            "token": 0,
+            "random": 0,
+            "overflow": 0,
+        }
+        self._pending_drop_cause: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # engine lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, link, engine) -> None:
+        super().attach(link, engine)
+        buffer = link.buffer if link.buffer is not None else 10_000
+        self.capacity = link.capacity if link.capacity is not None else float("inf")
+        self.qm = QueueManager(
+            buffer, self.cfg.q_min_fraction, rng=engine.spawn_rng("floc-qm")
+        )
+        self._rng = engine.spawn_rng("floc-pref")
+        if self.cfg.use_drop_filter:
+            self.tracker = None
+            self.drop_filter = DropRecordFilter(
+                k_bits=4,
+                probabilistic_update=True,
+                rng=engine.spawn_rng("floc-filter"),
+            )
+            self._filter_k_arrays = self.drop_filter.m
+        else:
+            self.tracker = FlowDropTracker(horizon=40 * self.cfg.measure_interval)
+            self.drop_filter = None
+        self._initial_rtt = max(4.0, engine.scale.seconds_to_ticks(0.1))
+
+    def on_tick(self, tick: int) -> None:
+        for group in self.groups.values():
+            group.bucket.on_tick(tick)
+        if tick and tick % self.cfg.measure_interval == 0:
+            self._refresh(tick)
+        if tick and tick % self.cfg.aggregation_interval == 0:
+            self._aggregate(tick)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, pkt: Packet, tick: int) -> bool:
+        if pkt.kind == SYN:
+            return self._admit_syn(pkt, tick)
+        if pkt.kind != DATA:
+            return True
+        return self._admit_data(pkt, tick)
+
+    def _admit_syn(self, pkt: Packet, tick: int) -> bool:
+        pid = pkt.path_id
+        state = self._path_state(pid)
+        pkt.capability = self.issuer.issue(pkt.src_addr, pkt.dst_addr, pid)
+        state.syn_ticks[pkt.flow_id] = tick
+        return True
+
+    def _admit_data(self, pkt: Packet, tick: int) -> bool:
+        cfg = self.cfg
+        pid = pkt.path_id
+        state = self._path_state(pid)
+
+        if cfg.capability_checks and not self.issuer.verify(
+            pkt.capability, pkt.src_addr, pkt.dst_addr, pid
+        ):
+            self._pending_drop_cause = "spoofed"
+            return False
+
+        key = self.issuer.account_key(pkt.src_addr, pkt.dst_addr, pid)
+        state.arrivals += 1
+        state.last_arrival = tick
+        if key not in state.flows:
+            state.flows[key] = tick
+        else:
+            state.flows[key] = tick
+        syn_tick = state.syn_ticks.pop(pkt.flow_id, None)
+        if syn_tick is not None:
+            sample = max(1.0, float(tick - syn_tick))
+            state.rtt_ewma += 0.25 * (sample - state.rtt_ewma)
+
+        unblock = self._blocked.get(key)
+        if unblock is not None:
+            if tick < unblock:
+                self._pending_drop_cause = "blocked"
+                return False
+            del self._blocked[key]
+
+        group = self._group_state(pid, tick)
+        q_curr = len(self.link.queue)
+        mode = self.qm.mode(q_curr)
+        if mode is QueueMode.UNCONGESTED:
+            if not self.qm.early_congestion(
+                q_curr, group.bandwidth, state.lambda_rate
+            ):
+                return True
+            mode = QueueMode.CONGESTED
+
+        # Eq. (IV.5): identified attack flows are serviced with probability
+        # min(1, MTD(f) / (n_i * T_Si)) before competing for tokens.  Flows
+        # that stay identified across measurement intervals — i.e. do not
+        # respond to the drops — are penalised increasingly aggressively
+        # (Section IV-B: "more aggressively penalizes the flows whose MTDs
+        # keep decreasing") via an escalation exponent on the ratio.
+        if cfg.preferential_drop and key in state.attack_flows:
+            if self.tracker is not None:
+                mtd_value = self._mtd(key, tick, group)
+                p_service = self.classifier.service_probability(
+                    mtd_value, self._reference_mtd(group)
+                )
+            else:
+                # scalable mode: Eq. (V.1) preferential drop ratio
+                p_service = 1.0 - self.drop_filter.preferential_drop_ratio(
+                    key, tick, self._reference_mtd(group)
+                )
+            streak = state.attack_streak.get(key, 1)
+            if streak > 1:
+                p_service = p_service ** min(3.0, 1.0 + 0.5 * (streak - 1))
+            if self._rng.random() > p_service:
+                self._pending_drop_cause = "preferential"
+                return False
+
+        bucket = group.bucket
+        if mode is QueueMode.CONGESTED:
+            bucket.use_increased = True
+            if bucket.request():
+                return True
+            if self.qm.random_drop(q_curr):
+                self._pending_drop_cause = "random"
+                return False
+            return True
+        # flooding mode: strict tokens at the base bucket size
+        bucket.use_increased = False
+        if bucket.request():
+            return True
+        self._pending_drop_cause = "token"
+        return False
+
+    def on_drop(self, pkt: Packet, tick: int) -> None:
+        cause = self._pending_drop_cause or "overflow"
+        self._pending_drop_cause = None
+        self.drop_stats[cause] += 1
+        if pkt.kind != DATA:
+            return
+        pid = pkt.path_id
+        state = self.paths.get(pid)
+        if state is None:
+            return
+        key = self.issuer.account_key(pkt.src_addr, pkt.dst_addr, pid)
+        group = self._group_state(pid, tick)
+        group.bucket.record_drop()
+        group.interval_drops += 1
+        if self.tracker is not None:
+            self.tracker.record_drop(key, tick)
+        else:
+            # the filter decays one drop per "epoch"; the measured fair
+            # reference MTD is exactly the legitimate one-drop interval
+            self.drop_filter.record_drop(
+                key,
+                tick,
+                self._reference_mtd(group),
+                attack_domain=self.conformance.value(pid)
+                < self.cfg.conformance_threshold,
+                k_arrays=self._filter_k_arrays,
+            )
+
+    # ------------------------------------------------------------------
+    # periodic state refresh
+    # ------------------------------------------------------------------
+    def _refresh(self, tick: int) -> None:
+        cfg = self.cfg
+        interval = cfg.measure_interval
+        dead_paths = []
+        for pid, state in self.paths.items():
+            # request-rate EWMA
+            inst = state.arrivals / interval
+            state.lambda_rate = 0.5 * inst + 0.5 * state.lambda_rate
+            state.arrivals = 0
+            # expire idle accounting units
+            horizon = tick - cfg.flow_active_window
+            stale = [k for k, seen in state.flows.items() if seen < horizon]
+            for k in stale:
+                del state.flows[k]
+                state.attack_flows.discard(k)
+            if not state.flows and state.last_arrival < horizon:
+                dead_paths.append(pid)
+        for pid in dead_paths:
+            del self.paths[pid]
+            self.conformance.forget(pid)
+
+        self._rebuild_groups(tick)
+
+        # measure per-group reference MTDs from aggregate drop rates.  The
+        # reference is the expected drop interval of a flow sending at
+        # exactly its fair share C_g/n_g: drops are proportional to send
+        # rates, so that flow receives a (C_g/n_g)/lambda_g share of the
+        # group's drops, giving
+        #   ref = (lambda_g / C_g) * n_g * window / drops_g.
+        # Under strict token admission (drops_g = excess = lambda - C) this
+        # reduces to the paper's n_i * T_Si; under the congested-mode
+        # random-threshold drops it rescales so the MTD *ratio* still
+        # measures a flow's multiple of fair share.
+        for group in self.groups.values():
+            group_lambda = sum(
+                self.paths[m].lambda_rate
+                for m in group.members
+                if m in self.paths
+            )
+            inst_rate = group.interval_drops / interval
+            group.interval_drops = 0
+            group.drop_rate_ewma = 0.5 * inst_rate + 0.5 * group.drop_rate_ewma
+            if group.drop_rate_ewma > 1e-6:
+                n = self._group_flows(group)
+                oversub = max(1.0, group_lambda / max(group.bandwidth, 1e-9))
+                group.measured_ref_mtd = oversub * n / group.drop_rate_ewma
+            else:
+                group.measured_ref_mtd = None
+
+        # attack-flow identification + conformance update, per path
+        for pid, state in self.paths.items():
+            group = self._group_state(pid, tick)
+            ref = self._reference_mtd(group)
+            window = self._mtd_window(group)
+            attack = set()
+            for key in state.flows:
+                if self.tracker is not None:
+                    mtd_value = self.tracker.mtd(key, tick, window)
+                    blocked = self.classifier.should_block(mtd_value, ref)
+                    is_attack = self.classifier.is_attack_flow(mtd_value, ref)
+                else:
+                    # scalable mode (Section V-B): an extra drop per
+                    # reference interval marks an attack flow
+                    excess = self.drop_filter.excess_ratio(key, tick, ref)
+                    is_attack = excess > 1.0
+                    blocked = self.drop_filter.should_block(key, tick, ref)
+                if blocked:
+                    self._blocked[key] = tick + cfg.block_ticks
+                    attack.add(key)
+                elif is_attack:
+                    attack.add(key)
+            streaks = state.attack_streak
+            for key in attack:
+                streaks[key] = streaks.get(key, 0) + 1
+            for key in list(streaks):
+                if key not in attack:
+                    del streaks[key]  # responded to drops: escalation resets
+            # debounce: one suspicious interval is not identification — an
+            # adaptive source backs off within an RTT, well inside one
+            # measurement interval, so only persistence marks an attacker.
+            # (This is Eq. IV.4's k-period averaging expressed as state.)
+            state.attack_flows = {
+                key for key in attack if streaks[key] >= 2
+            }
+            self.conformance.update(
+                pid, len(state.flows), len(state.attack_flows)
+            )
+
+        # scalable mode: recompute the array-selection degree k so the
+        # legitimate-flow false-positive ratio stays within budget even
+        # with huge attack-flow populations (Section V-B.5); with modest
+        # flow counts this resolves to k = m (no selection needed).
+        if self.drop_filter is not None:
+            n_total = sum(len(s.flows) for s in self.paths.values())
+            n_attack = sum(
+                len(s.flows)
+                for pid, s in self.paths.items()
+                if self.conformance.value(pid) < cfg.conformance_threshold
+            )
+            self._filter_k_arrays = DropRecordFilter.select_k(
+                max(1, n_total),
+                n_attack,
+                n_threshold=self.drop_filter.size / 8,
+                m=self.drop_filter.m,
+            )
+
+        # Q_max tracks sum_i sqrt(n_i) * W_i
+        windows = {}
+        for pid, state in self.paths.items():
+            group = self._group_state(pid, tick)
+            n = state.n_flows
+            share = group.bandwidth * (n / max(1, self._group_flows(group)))
+            w = model.peak_window(max(share, 1e-6), group.bucket.rtt, n)
+            windows[pid] = (n, w)
+        self.qm.update_q_max(windows)
+
+        if self.tracker is not None:
+            self.tracker.forget_stale(tick)
+
+    def _aggregate(self, tick: int) -> None:
+        cfg = self.cfg
+        pids = list(self.paths.keys())
+        if not pids:
+            return
+        s_max = cfg.s_max
+        if s_max is None and cfg.min_guaranteed_share:
+            s_max = max(1, int(1.0 / cfg.min_guaranteed_share))
+        legit, attack = self.conformance.partition(
+            pids, cfg.conformance_threshold
+        )
+        flow_counts = {pid: float(len(s.flows)) for pid, s in self.paths.items()}
+        self.plan = build_plan(
+            legit,
+            attack,
+            self.conformance.values(),
+            flow_counts,
+            s_max,
+            bandwidth_increase_cap=cfg.legit_agg_bandwidth_cap,
+            legitimate_aggregation=cfg.legitimate_aggregation,
+        )
+        self.groups.clear()
+        self._rebuild_groups(tick)
+
+    def _rebuild_groups(self, tick: int) -> None:
+        """Recompute group membership, shares, and bucket parameters."""
+        # group membership from the current plan (new paths default to
+        # singleton groups)
+        members_of: Dict[Tuple, List[PathId]] = {}
+        for pid in self.paths:
+            key = self.plan.group(pid)
+            members_of.setdefault(key, []).append(pid)
+        weights = self.cfg.domain_weights
+        total_shares = 0.0
+        shares: Dict[Tuple, float] = {}
+        for key, members in members_of.items():
+            if weights and not (
+                isinstance(key[0], str) and key[0] == "AGG-A"
+            ):
+                # ISP-agreement proportional allocation (footnote 1):
+                # non-attack groups weigh the sum of their member
+                # domains' weights
+                share = sum(weights.get(pid[0], 1.0) for pid in members)
+            else:
+                share = self.plan.shares.get(key, 1.0)
+            shares[key] = share
+            total_shares += share
+        if total_shares <= 0:
+            return
+        for key, members in members_of.items():
+            bandwidth = self.capacity * shares[key] / total_shares
+            n_flows = max(1, sum(len(self.paths[p].flows) for p in members))
+            rtt = sum(self.paths[p].rtt_ewma for p in members) / len(members)
+            rtt *= self.cfg.rtt_correction
+            rtt = max(1.0, rtt)
+            if self.cfg.estimate_flow_counts:
+                previous = self.groups.get(key)
+                conformant = all(
+                    self.conformance.value(p) >= self.cfg.conformance_threshold
+                    for p in members
+                )
+                if (
+                    previous is not None
+                    and previous.drop_rate_ewma > 1e-6
+                    and conformant
+                ):
+                    # Section V-B.1: recover the flow count from the
+                    # observable aggregate drop rate and path RTT alone.
+                    # Valid only for conformant aggregates — an attack
+                    # aggregate's drop rate far exceeds the TCP model's,
+                    # which is precisely how attack paths are identified,
+                    # so those keep their accounting-unit counts.
+                    estimate = model.flows_from_drop_rate(
+                        max(bandwidth, 1e-6), rtt, previous.drop_rate_ewma
+                    )
+                    n_flows = max(1, round(estimate))
+            group = self.groups.get(key)
+            if group is None or group.members != members:
+                bucket = PathTokenBucket(bandwidth, rtt, n_flows, now=tick)
+                group = _GroupState(key, members, shares[key], bucket, bandwidth)
+                self.groups[key] = group
+            else:
+                group.share = shares[key]
+                group.bandwidth = bandwidth
+                group.bucket.set_params(bandwidth, rtt, n_flows)
+        # retire groups with no members
+        live = set(members_of)
+        for key in list(self.groups):
+            if key not in live:
+                del self.groups[key]
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _path_state(self, pid: PathId) -> _PathState:
+        state = self.paths.get(pid)
+        if state is None:
+            state = _PathState(pid, self._initial_rtt)
+            self.paths[pid] = state
+        return state
+
+    def _group_state(self, pid: PathId, tick: int) -> _GroupState:
+        key = self.plan.group(pid)
+        group = self.groups.get(key)
+        if group is None:
+            state = self._path_state(pid)
+            n_paths = max(1, len(self.paths))
+            bandwidth = self.capacity / n_paths
+            rtt = max(1.0, state.rtt_ewma * self.cfg.rtt_correction)
+            bucket = PathTokenBucket(bandwidth, rtt, state.n_flows, now=tick)
+            group = _GroupState(key, [pid], 1.0, bucket, bandwidth)
+            self.groups[key] = group
+        return group
+
+    def _group_flows(self, group: _GroupState) -> int:
+        return max(
+            1,
+            sum(
+                len(self.paths[p].flows) for p in group.members if p in self.paths
+            ),
+        )
+
+    def _reference_mtd(self, group: _GroupState) -> float:
+        """Reference MTD: measured when drop records exist, else n*T."""
+        if group.measured_ref_mtd is not None:
+            return group.measured_ref_mtd
+        return group.bucket.reference_mtd
+
+    def _mtd_window(self, group: _GroupState) -> int:
+        k = max(self._group_flows(group), self.cfg.mtd_window_periods)
+        return max(1, int(k * group.bucket.period))
+
+    def _mtd(
+        self,
+        key: Hashable,
+        tick: int,
+        group: _GroupState,
+        window: Optional[int] = None,
+    ) -> float:
+        """Exact-mode MTD (Eq. IV.4); the scalable mode uses the drop
+        filter's Eq. (V.1) machinery directly instead."""
+        if window is None:
+            window = self._mtd_window(group)
+        if self.tracker is None:
+            ref = self._reference_mtd(group)
+            excess = self.drop_filter.excess_ratio(key, tick, ref)
+            if excess <= 0:
+                return INFINITE_MTD
+            return ref / (1.0 + excess)
+        return self.tracker.mtd(key, tick, window)
+
+    # ------------------------------------------------------------------
+    # introspection (experiments / tests)
+    # ------------------------------------------------------------------
+    def identified_attack_units(self) -> set:
+        """Union of accounting units currently classified as attacking."""
+        out = set()
+        for state in self.paths.values():
+            out |= state.attack_flows
+        return out
+
+    def conformance_snapshot(self) -> Dict[PathId, float]:
+        """Current conformance per known path."""
+        return {pid: self.conformance.value(pid) for pid in self.paths}

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the FLoc reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with others."""
+
+
+class TopologyError(ReproError):
+    """The network topology is malformed (unknown node, no route, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class CapabilityError(ReproError):
+    """A capability failed verification or violated the fanout limit."""

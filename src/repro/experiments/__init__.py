@@ -1,0 +1,16 @@
+"""Experiment runners — one module per paper figure.
+
+Each ``run_*`` function builds the scenario, attaches the scheme under
+test, simulates, and returns a structured result object whose fields map
+directly onto the figure's series.  The benchmark harness
+(``benchmarks/``) calls these runners, prints the rows, and asserts the
+paper's *shape* claims (who wins, by roughly what factor).
+
+Functional evaluation (Section VI): fig02, fig03, fig04, fig06, fig07,
+fig08, fig09, fig10.  Internet-scale evaluation (Section VII): fig11
+(+fig12 via parameters), fig13, fig14, fig15.
+"""
+
+from .common import FunctionalSettings, make_policy, run_breakdown
+
+__all__ = ["FunctionalSettings", "make_policy", "run_breakdown"]

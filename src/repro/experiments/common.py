@@ -1,0 +1,156 @@
+"""Shared plumbing for the functional (Section VI) experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.accounting import (
+    BandwidthBreakdown,
+    breakdown,
+    per_flow_rates,
+)
+from ..baselines import (
+    CdfPspPolicy,
+    FairSharePolicy,
+    PushbackPolicy,
+    RedPdPolicy,
+    RedPolicy,
+)
+from ..core.config import FLocConfig
+from ..core.router import FLocPolicy
+from ..errors import ConfigError
+from ..net.policy import DropTailPolicy, RandomDropPolicy
+from ..traffic.scenarios import TreeScenario
+
+#: Scheme names accepted by :func:`make_policy`.
+SCHEMES = (
+    "floc",
+    "floc-noagg",
+    "floc-nopref",
+    "floc-filter",
+    "pushback",
+    "redpd",
+    "red",
+    "droptail",
+    "randomdrop",
+    "fairshare",
+    "cdfpsp",
+)
+
+
+@dataclass
+class FunctionalSettings:
+    """Run-size knobs shared by the functional experiments.
+
+    ``scale`` shrinks flow counts and link capacity together (per-flow
+    fair shares are invariant); the defaults keep a full figure
+    reproduction within minutes on a laptop.  Use ``scale=1.0`` and the
+    paper's timings (measurement from 20 s to 80 s) for full-fidelity
+    runs.
+    """
+
+    scale: float = 0.1
+    warmup_seconds: float = 5.0
+    measure_seconds: float = 15.0
+    seed: int = 1
+    s_max: Optional[int] = None  # |S|_max for FLoc runs that aggregate
+
+    @property
+    def total_seconds(self) -> float:
+        return self.warmup_seconds + self.measure_seconds
+
+
+def make_policy(
+    scheme: str,
+    settings: FunctionalSettings,
+    floc_config: Optional[FLocConfig] = None,
+):
+    """Instantiate the admission policy for a scheme name."""
+    if scheme not in SCHEMES:
+        raise ConfigError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    if scheme.startswith("floc"):
+        cfg = floc_config or FLocConfig(s_max=settings.s_max)
+        if scheme == "floc-noagg":
+            cfg.s_max = None
+            cfg.min_guaranteed_share = None
+        elif scheme == "floc-nopref":
+            cfg.preferential_drop = False
+        elif scheme == "floc-filter":
+            cfg.use_drop_filter = True
+        return FLocPolicy(cfg)
+    if scheme == "pushback":
+        return PushbackPolicy()
+    if scheme == "redpd":
+        return RedPdPolicy()
+    if scheme == "red":
+        return RedPolicy()
+    if scheme == "fairshare":
+        return FairSharePolicy()
+    if scheme == "cdfpsp":
+        return CdfPspPolicy()
+    if scheme == "randomdrop":
+        return RandomDropPolicy()
+    return DropTailPolicy()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run under one scheme."""
+
+    scheme: str
+    breakdown: BandwidthBreakdown
+    legit_in_legit_rates: List[float]  # Mbps per flow
+    legit_in_attack_rates: List[float]
+    attack_rates: List[float]
+    extra: Dict = field(default_factory=dict)
+
+
+def run_breakdown(
+    scenario: TreeScenario,
+    scheme: str,
+    settings: FunctionalSettings,
+    floc_config: Optional[FLocConfig] = None,
+) -> RunResult:
+    """Attach a scheme, run, and compute the category breakdown."""
+    policy = make_policy(scheme, settings, floc_config)
+    scenario.attach_policy(policy)
+    monitor = scenario.add_target_monitor(
+        start_seconds=settings.warmup_seconds,
+        stop_seconds=settings.total_seconds,
+    )
+    scenario.run_seconds(settings.total_seconds)
+
+    window_ticks = scenario.units.seconds_to_ticks(
+        settings.total_seconds
+    ) - scenario.units.seconds_to_ticks(settings.warmup_seconds)
+    all_flows = list(scenario.legit_flows) + list(scenario.attack_flows)
+    result_breakdown = breakdown(
+        monitor,
+        all_flows,
+        scenario.attack_path_ids,
+        scenario.capacity,
+        window_ticks,
+    )
+    attack_paths = set(scenario.attack_path_ids)
+    lil = [f.flow_id for f in scenario.legit_flows if f.path_id not in attack_paths]
+    lia = [f.flow_id for f in scenario.legit_flows if f.path_id in attack_paths]
+    att = [f.flow_id for f in scenario.attack_flows]
+    return RunResult(
+        scheme=scheme,
+        breakdown=result_breakdown,
+        legit_in_legit_rates=per_flow_rates(
+            monitor, lil, window_ticks, scenario.units
+        ),
+        legit_in_attack_rates=per_flow_rates(
+            monitor, lia, window_ticks, scenario.units
+        ),
+        attack_rates=per_flow_rates(monitor, att, window_ticks, scenario.units),
+        extra={"monitor": monitor, "policy": policy},
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean, 0.0 for empty input."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,84 @@
+"""FIG-2: packet service rate vs drop rate at a congested link.
+
+Paper Section III-D, Fig. 2: even when TCP flows' bandwidth is controlled
+by a router's packet drops, the service rate exceeds the drop rate by
+orders of magnitude — the observation that makes drop-side state (the
+drop-record filter) cheap enough for backbone routers.
+
+We reproduce the figure's content by congesting a drop-tail link with
+persistent TCP flows and recording per-second service and drop rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..net.engine import LinkMonitor
+from ..traffic.scenarios import build_tree_scenario
+from .common import FunctionalSettings, make_policy
+
+
+@dataclass
+class Fig02Result:
+    """Per-second service/drop rates and their overall ratio."""
+
+    rows: List[Tuple[float, float, float]]  # (second, service pkt/s, drop pkt/s)
+    service_total: int
+    drop_total: int
+
+    @property
+    def service_to_drop_ratio(self) -> float:
+        return self.service_total / max(1, self.drop_total)
+
+
+def run_fig02(settings: FunctionalSettings = FunctionalSettings()) -> Fig02Result:
+    """Run the normal-operation (no attack) congestion measurement."""
+    scenario = build_tree_scenario(
+        scale_factor=settings.scale,
+        attack_kind="none",
+        seed=settings.seed,
+        start_spread_seconds=1.0,
+    )
+    scenario.attach_policy(make_policy("droptail", settings))
+    units = scenario.units
+    start = units.seconds_to_ticks(settings.warmup_seconds)
+    stop = units.seconds_to_ticks(settings.total_seconds)
+    per_second = units.seconds_to_ticks(1.0)
+
+    class _PerSecond(LinkMonitor):
+        def __init__(self) -> None:
+            super().__init__(start_tick=start, stop_tick=stop)
+            self.service_bins = {}
+            self.drop_bins = {}
+
+        def on_service(self, pkt, tick):
+            super().on_service(pkt, tick)
+            if self._in_window(tick):
+                b = (tick - start) // per_second
+                self.service_bins[b] = self.service_bins.get(b, 0) + 1
+
+        def on_drop(self, pkt, tick):
+            super().on_drop(pkt, tick)
+            if self._in_window(tick):
+                b = (tick - start) // per_second
+                self.drop_bins[b] = self.drop_bins.get(b, 0) + 1
+
+    monitor = _PerSecond()
+    scenario.engine.add_monitor(*scenario.target, monitor)
+    scenario.run_seconds(settings.total_seconds)
+
+    n_bins = int(settings.measure_seconds)
+    rows = [
+        (
+            settings.warmup_seconds + b,
+            float(monitor.service_bins.get(b, 0)),
+            float(monitor.drop_bins.get(b, 0)),
+        )
+        for b in range(n_bins)
+    ]
+    return Fig02Result(
+        rows=rows,
+        service_total=monitor.total_serviced,
+        drop_total=monitor.total_dropped,
+    )

@@ -1,0 +1,125 @@
+"""Skitter-map-like route-tree generation.
+
+A CAIDA Skitter map is a set of traceroute paths from one vantage point
+(a root DNS server) to 300-400 k hosts; collapsing it to AS level gives,
+for each origin AS, the AS path towards the vantage point — a tree rooted
+at the vantage AS.  The paper uses three maps (f-root, h-root, JPN) whose
+differences are essentially branching structure and how far attack ASes
+sit from the target.
+
+We synthesise such trees directly: a random recursive tree over ASes with
+preferential attachment (hub-biased, like AS peering) and a depth cap, so
+AS-path lengths land in the observed 3-8 AS-hop range.  The three named
+variants are seeds plus mild parameter shifts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+
+#: Named variants standing in for the paper's three skitter maps.
+VARIANTS: Dict[str, dict] = {
+    "f-root": {"seed": 101, "hub_bias": 1.0, "max_depth": 6},
+    "h-root": {"seed": 202, "hub_bias": 1.4, "max_depth": 7},
+    "jpn": {"seed": 303, "hub_bias": 0.7, "max_depth": 8},
+}
+
+
+@dataclass
+class SkitterLikeMap:
+    """An AS-level route tree rooted at the target's AS (AS 0).
+
+    Attributes
+    ----------
+    parent:
+        ``parent[asn]`` is the next AS towards the target (root's parent
+        is itself).
+    depth:
+        AS-hop distance to the target.
+    paths:
+        ``paths[asn]`` is the origin-first AS path ``(asn, ..., root)`` —
+        exactly the FLoc path identifier stamped for traffic from ``asn``.
+    """
+
+    variant: str
+    parent: List[int]
+    depth: List[int]
+    paths: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_as(self) -> int:
+        return len(self.parent)
+
+    def path_of(self, asn: int) -> Tuple[int, ...]:
+        return self.paths[asn]
+
+    def children_of(self) -> Dict[int, List[int]]:
+        """Reverse adjacency (towards the origins)."""
+        children: Dict[int, List[int]] = {}
+        for asn, par in enumerate(self.parent):
+            if asn != par:
+                children.setdefault(par, []).append(asn)
+        return children
+
+    def depth_histogram(self) -> Dict[int, int]:
+        """AS count per distance-to-target (the Fig. 11/12 x-axis)."""
+        hist: Dict[int, int] = {}
+        for d in self.depth:
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+
+def generate_route_tree(
+    n_as: int = 500,
+    variant: str = "f-root",
+    seed: int = None,
+) -> SkitterLikeMap:
+    """Generate a skitter-like AS route tree.
+
+    The root (AS 0) is the target's AS.  New ASes attach to an existing AS
+    chosen with probability proportional to ``(degree + 1)^hub_bias``
+    among ASes below the depth cap — heavy-tailed degrees, bounded path
+    lengths.
+    """
+    if n_as < 2:
+        raise ConfigError(f"n_as must be >= 2, got {n_as}")
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown variant {variant!r}; choose {list(VARIANTS)}")
+    params = VARIANTS[variant]
+    rng = random.Random(seed if seed is not None else params["seed"])
+    hub_bias = params["hub_bias"]
+    max_depth = params["max_depth"]
+
+    parent = [0]
+    depth = [0]
+    degree = [1.0]
+    eligible = [0]  # ASes that can still take children
+    for asn in range(1, n_as):
+        weights = [(degree[a] + 1.0) ** hub_bias for a in eligible]
+        total = sum(weights)
+        pick = rng.random() * total
+        acc = 0.0
+        chosen = eligible[-1]
+        for a, w in zip(eligible, weights):
+            acc += w
+            if pick <= acc:
+                chosen = a
+                break
+        parent.append(chosen)
+        depth.append(depth[chosen] + 1)
+        degree.append(1.0)
+        degree[chosen] += 1.0
+        if depth[-1] < max_depth:
+            eligible.append(asn)
+
+    paths: Dict[int, Tuple[int, ...]] = {}
+    for asn in range(n_as):
+        chain = [asn]
+        while chain[-1] != 0:
+            chain.append(parent[chain[-1]])
+        paths[asn] = tuple(chain)
+    return SkitterLikeMap(variant=variant, parent=parent, depth=depth, paths=paths)

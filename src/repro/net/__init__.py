@@ -1,0 +1,42 @@
+"""Discrete-time, packet-level network simulation substrate.
+
+This package implements the simulation model described in Section VII-B of
+the FLoc paper, generalized so it also supports the functional evaluation of
+Section VI (which the authors ran on ns2):
+
+* time advances in integer ticks,
+* a packet advances one router hop per tick,
+* each directed link has a capacity in packets per tick, a finite FIFO
+  buffer, and a pluggable admission policy (drop-tail, RED, RED-PD,
+  Pushback, per-flow fairness, or FLoc),
+* whenever a drop is necessary the policy picks the victim; the default
+  matches the paper's random selection among queued packets.
+
+The key classes are :class:`~repro.net.topology.Topology`,
+:class:`~repro.net.engine.Engine`, :class:`~repro.net.packet.Packet` and
+:class:`~repro.net.policy.LinkPolicy`.
+"""
+
+from .packet import ACK, DATA, SYN, SYNACK, Packet, kind_name
+from .topology import Link, Topology
+from .policy import DropTailPolicy, LinkPolicy, RandomDropPolicy
+from .engine import Engine, FlowInfo, LinkMonitor
+from .source import TrafficSource
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "SYN",
+    "SYNACK",
+    "Packet",
+    "kind_name",
+    "Link",
+    "Topology",
+    "LinkPolicy",
+    "DropTailPolicy",
+    "RandomDropPolicy",
+    "Engine",
+    "FlowInfo",
+    "LinkMonitor",
+    "TrafficSource",
+]

@@ -1,0 +1,452 @@
+"""The discrete-time simulation engine.
+
+Timing model (paper Section VII-B): packets advance one router hop per
+tick.  A tick proceeds in phases:
+
+1. packets serviced on the previous tick arrive at their next node; packets
+   whose route is complete are *delivered* (data/SYN to the destination
+   host, which replies with ACK/SYN-ACK; ACK/SYN-ACK to the source's
+   traffic generator),
+2. traffic sources emit new packets into their access links,
+3. every active link runs its admission policy over this tick's arrivals,
+   enqueues survivors (FIFO, bounded buffer), and services up to
+   ``capacity`` packets, which will arrive at the next hop on tick + 1.
+
+Reproducibility: the engine owns a master seed; every stochastic component
+derives its own :class:`random.Random` via :meth:`Engine.spawn_rng`, so
+simulations are deterministic given (scenario, seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..units import DEFAULT_SCALE, UnitScale
+from .packet import ACK, DATA, SYN, SYNACK, Packet
+from .topology import Link, Topology
+
+
+class FlowInfo:
+    """Engine-side record of one flow (a source/destination/path triple)."""
+
+    __slots__ = (
+        "flow_id",
+        "src_host",
+        "dst_host",
+        "route",
+        "reverse_route",
+        "path_id",
+        "is_attack",
+        "source",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src_host,
+        dst_host,
+        route: Tuple,
+        reverse_route: Tuple,
+        path_id: Tuple[int, ...],
+        is_attack: bool,
+        source=None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.route = route
+        self.reverse_route = reverse_route
+        self.path_id = path_id
+        self.is_attack = is_attack
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "attack" if self.is_attack else "legit"
+        return f"FlowInfo({self.flow_id}, {self.src_host}->{self.dst_host}, {tag})"
+
+
+class LinkMonitor:
+    """Records per-flow service and drop counts on one link.
+
+    ``service_counts[flow_id]`` and ``drop_counts[flow_id]`` accumulate only
+    while ``start_tick <= tick < stop_tick`` (both optional), which is how
+    the paper measures bandwidth "in a 20 to 80 second interval"
+    (Section VI-B).  ``per_tick_service`` optionally keeps a full time
+    series for figure-style output.
+    """
+
+    def __init__(
+        self,
+        start_tick: int = 0,
+        stop_tick: Optional[int] = None,
+        record_series: bool = False,
+    ) -> None:
+        self.start_tick = start_tick
+        self.stop_tick = stop_tick
+        self.record_series = record_series
+        self.service_counts: Dict[int, int] = {}
+        self.drop_counts: Dict[int, int] = {}
+        self.series: List[Tuple[int, int]] = []  # (tick, serviced-count)
+        self._tick_serviced = 0
+        self._series_tick = -1
+
+    def _in_window(self, tick: int) -> bool:
+        if tick < self.start_tick:
+            return False
+        return self.stop_tick is None or tick < self.stop_tick
+
+    def on_service(self, pkt: Packet, tick: int) -> None:
+        """Called by the engine when ``pkt`` is serviced on the link."""
+        if not self._in_window(tick):
+            return
+        counts = self.service_counts
+        counts[pkt.flow_id] = counts.get(pkt.flow_id, 0) + 1
+        if self.record_series:
+            if tick != self._series_tick:
+                if self._series_tick >= 0:
+                    self.series.append((self._series_tick, self._tick_serviced))
+                self._series_tick = tick
+                self._tick_serviced = 0
+            self._tick_serviced += 1
+
+    def on_drop(self, pkt: Packet, tick: int) -> None:
+        """Called by the engine when ``pkt`` is dropped on the link."""
+        if not self._in_window(tick):
+            return
+        counts = self.drop_counts
+        counts[pkt.flow_id] = counts.get(pkt.flow_id, 0) + 1
+
+    @property
+    def total_serviced(self) -> int:
+        """Total packets serviced in the measurement window."""
+        return sum(self.service_counts.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Total packets dropped in the measurement window."""
+        return sum(self.drop_counts.values())
+
+
+class Engine:
+    """Drives a :class:`~repro.net.topology.Topology` tick by tick."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scale: UnitScale = DEFAULT_SCALE,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.scale = scale
+        self.seed = seed
+        self.tick = 0
+        self.flows: Dict[int, FlowInfo] = {}
+        self._sources: List = []
+        self._next_flow_id = 0
+        # insertion-ordered (dict-as-set) so link processing order — and
+        # therefore FIFO interleaving and drop victims — is deterministic
+        # given (scenario, seed), independent of object hashes
+        self._active: Dict = {}
+        self._touched_next: Dict = {}
+        self._deliveries: List[Packet] = []
+        self._deliveries_next: List[Packet] = []
+        # packets in flight on links with delay > 1 tick:
+        # arrival tick -> [(next_link_or_None, packet), ...]
+        self._scheduled: Dict[int, List] = {}
+        self._started = False
+        self._hooks_per_tick: List[Callable[["Engine", int], None]] = []
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def spawn_rng(self, name: str) -> random.Random:
+        """Derive a deterministic, independent RNG from the master seed."""
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def open_flow(
+        self,
+        src_host,
+        dst_host,
+        path_id: Tuple[int, ...],
+        route: Optional[Sequence] = None,
+        reverse_route: Optional[Sequence] = None,
+        is_attack: bool = False,
+    ) -> FlowInfo:
+        """Register a flow and return its :class:`FlowInfo`.
+
+        ``path_id`` is the FLoc domain-path identifier, origin AS first.
+        Routes default to the topology's shortest paths.
+        """
+        if route is None:
+            route = self.topology.shortest_route(src_host, dst_host)
+        else:
+            self.topology.validate_route(list(route))
+        if reverse_route is None:
+            reverse_route = self.topology.shortest_route(dst_host, src_host)
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        info = FlowInfo(
+            flow_id,
+            src_host,
+            dst_host,
+            tuple(route),
+            tuple(reverse_route),
+            tuple(path_id),
+            is_attack,
+        )
+        self.flows[flow_id] = info
+        return info
+
+    def add_source(self, source) -> None:
+        """Register a traffic source; it owns one or more flows."""
+        self._sources.append(source)
+        for flow in source.flows():
+            flow.source = source
+
+    def add_monitor(
+        self, src, dst, monitor: Optional[LinkMonitor] = None
+    ) -> LinkMonitor:
+        """Attach a :class:`LinkMonitor` to the ``src -> dst`` link."""
+        if monitor is None:
+            monitor = LinkMonitor()
+        self.topology.link(src, dst).monitors.append(monitor)
+        return monitor
+
+    def add_tick_hook(self, hook: Callable[["Engine", int], None]) -> None:
+        """Run ``hook(engine, tick)`` at the start of every tick."""
+        self._hooks_per_tick.append(hook)
+
+    # ------------------------------------------------------------------
+    # packet movement
+    # ------------------------------------------------------------------
+    def emit(self, pkt: Packet) -> None:
+        """Inject ``pkt`` at the first link of its route (current tick)."""
+        route = pkt.route
+        link = self.topology.link(route[pkt.hop], route[pkt.hop + 1])
+        link.arrivals.append(pkt)
+        self._active[link] = None
+
+    def _schedule_next_hop(self, pkt: Packet, link: Link) -> None:
+        # next-tick buffer: a packet advances at most one hop per tick,
+        # regardless of the order links are processed in
+        link.arrivals_next.append(pkt)
+        self._touched_next[link] = None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, ticks: int) -> None:
+        """Advance the simulation by ``ticks`` ticks."""
+        if not self._started:
+            self._start()
+        for _ in range(ticks):
+            self._step()
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance the simulation by a wall-clock duration in sim time."""
+        self.run(self.scale.seconds_to_ticks(seconds))
+
+    def _start(self) -> None:
+        self._started = True
+        self._interleave_rng = self.spawn_rng("arrival-interleave")
+        self._policy_links = []
+        for link in self.topology.links():
+            if link.policy is not None:
+                link.policy.attach(link, self)
+                self._policy_links.append(link)
+
+    def _step(self) -> None:
+        tick = self.tick
+        # phase 0: arrivals scheduled last tick become this tick's work.
+        for link in self._touched_next:
+            if link.arrivals_next:
+                link.arrivals.extend(link.arrivals_next)
+                link.arrivals_next.clear()
+        self._active.update(self._touched_next)
+        self._touched_next = {}
+        self._deliveries, self._deliveries_next = self._deliveries_next, []
+        # long-haul (delay > 1) packets arriving now
+        for dest, pkt in self._scheduled.pop(tick, ()):
+            if dest is None:
+                self._deliveries.append(pkt)
+            else:
+                dest.arrivals.append(pkt)
+                self._active[dest] = None
+
+        for hook in self._hooks_per_tick:
+            hook(self, tick)
+
+        # policies tick even when their link is idle (timers, state expiry)
+        for link in self._policy_links:
+            link.policy.on_tick(tick)
+
+        # phase 1: deliveries (end hosts react: sinks ACK, sources absorb).
+        for pkt in self._deliveries:
+            self._deliver(pkt, tick)
+
+        # phase 2: source emissions.
+        for source in self._sources:
+            source.on_tick(self, tick)
+
+        # phase 3: link processing.
+        active = self._active
+        self._active = {}
+        for link in active:
+            self._process_link(link, tick)
+
+        self.tick = tick + 1
+
+    def _process_link(self, link: Link, tick: int) -> None:
+        policy = link.policy
+        arrivals = link.arrivals
+        link.arrivals = []
+        queue = link.queue
+        monitors = link.monitors
+
+        if policy is not None:
+            # a tick's arrivals come from many upstream sources; real
+            # routers see them interleaved, not in source-registration
+            # order — without this, the same flows always sit at the
+            # tick's tail and absorb every token-exhaustion drop
+            if len(arrivals) > 1:
+                arrivals = self._interleave(arrivals)
+            admitted = policy.batch_admit(arrivals, tick)
+            if admitted is None:
+                admitted = []
+                for pkt in arrivals:
+                    # drop notification happens immediately after a failed
+                    # admit so policies can attribute the drop's cause
+                    if policy.admit(pkt, tick):
+                        admitted.append(pkt)
+                    else:
+                        self._drop(link, pkt, tick)
+            elif len(admitted) != len(arrivals):
+                kept = set(map(id, admitted))
+                for pkt in arrivals:
+                    if id(pkt) not in kept:
+                        self._drop(link, pkt, tick)
+            buffer = link.buffer
+            for pkt in admitted:
+                if buffer is not None and len(queue) >= buffer:
+                    self._drop(link, pkt, tick)
+                else:
+                    queue.append(pkt)
+        else:
+            buffer = link.buffer
+            if buffer is None:
+                queue.extend(arrivals)
+            else:
+                for pkt in arrivals:
+                    if len(queue) >= buffer:
+                        self._drop(link, pkt, tick)
+                    else:
+                        queue.append(pkt)
+
+        # service
+        if link.capacity is None:
+            n_service = len(queue)
+        else:
+            link.credit += link.capacity
+            n_service = int(link.credit)
+            if n_service > len(queue):
+                n_service = len(queue)
+            link.credit -= n_service
+            if link.credit > link.capacity:  # do not bank idle capacity
+                link.credit = link.capacity
+        route_end_delivery = self._deliveries_next
+        delay = link.delay
+        for _ in range(n_service):
+            pkt = queue.popleft()
+            link.serviced_total += 1
+            for mon in monitors:
+                mon.on_service(pkt, tick)
+            pkt.hop += 1
+            route = pkt.route
+            at_end = pkt.hop >= len(route) - 1
+            if delay == 1:
+                if at_end:
+                    route_end_delivery.append(pkt)
+                else:
+                    nxt = self.topology.link(route[pkt.hop], route[pkt.hop + 1])
+                    self._schedule_next_hop(pkt, nxt)
+            else:
+                nxt = (
+                    None
+                    if at_end
+                    else self.topology.link(route[pkt.hop], route[pkt.hop + 1])
+                )
+                self._scheduled.setdefault(tick + delay, []).append((nxt, pkt))
+        if queue:
+            self._touched_next[link] = None
+
+    def _interleave(self, arrivals: List[Packet]) -> List[Packet]:
+        """Randomly merge per-flow packet streams, preserving each flow's
+        own FIFO order (reordering a flow's packets would fire spurious
+        duplicate-ACK retransmissions at its TCP source)."""
+        by_flow: Dict[int, List[Packet]] = {}
+        for pkt in arrivals:
+            by_flow.setdefault(pkt.flow_id, []).append(pkt)
+        if len(by_flow) <= 1:
+            return arrivals
+        streams = list(by_flow.values())
+        cursors = [0] * len(streams)
+        out: List[Packet] = []
+        randrange = self._interleave_rng.randrange
+        while streams:
+            i = randrange(len(streams)) if len(streams) > 1 else 0
+            stream = streams[i]
+            out.append(stream[cursors[i]])
+            cursors[i] += 1
+            if cursors[i] == len(stream):
+                last = len(streams) - 1
+                streams[i] = streams[last]
+                cursors[i] = cursors[last]
+                streams.pop()
+                cursors.pop()
+        return out
+
+    def _drop(self, link: Link, pkt: Packet, tick: int) -> None:
+        link.dropped_total += 1
+        if link.policy is not None:
+            link.policy.on_drop(pkt, tick)
+        for mon in link.monitors:
+            mon.on_drop(pkt, tick)
+
+    # ------------------------------------------------------------------
+    # end-host behaviour
+    # ------------------------------------------------------------------
+    def _deliver(self, pkt: Packet, tick: int) -> None:
+        flow = self.flows.get(pkt.flow_id)
+        if flow is None:
+            raise SimulationError(f"delivery for unknown flow {pkt.flow_id}")
+        if pkt.kind == DATA:
+            self._reply(flow, pkt, ACK, tick)
+        elif pkt.kind == SYN:
+            self._reply(flow, pkt, SYNACK, tick)
+        elif pkt.kind == ACK:
+            if flow.source is not None:
+                flow.source.on_ack(self, flow, pkt, tick)
+        elif pkt.kind == SYNACK:
+            if flow.source is not None:
+                flow.source.on_synack(self, flow, pkt, tick)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown packet kind {pkt.kind}")
+
+    def _reply(self, flow: FlowInfo, pkt: Packet, kind: int, tick: int) -> None:
+        """Destination host acknowledges a data or SYN packet."""
+        reply = Packet(
+            flow_id=flow.flow_id,
+            kind=kind,
+            seq=pkt.seq,
+            path_id=flow.path_id,
+            route=flow.reverse_route,
+            src_addr=flow.dst_host,
+            dst_addr=flow.src_host,
+            sent_tick=pkt.sent_tick,
+            capability=pkt.capability,
+        )
+        self.emit(reply)

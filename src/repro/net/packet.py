@@ -1,0 +1,95 @@
+"""Packet representation for the simulation engine.
+
+Packets are deliberately tiny objects (``__slots__``, integer packet kinds)
+because the functional scenarios push millions of packet-hop events through
+pure Python.  One :class:`Packet` models one full-sized segment; control
+packets (SYN/SYN-ACK/ACK) are 40-byte packets that, per the paper's
+Section III-D, do not materially contribute to congestion and are therefore
+carried on the (uncongested) reverse direction without consuming data-plane
+tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+#: Packet kinds (small ints for speed; see :func:`kind_name`).
+DATA = 0
+ACK = 1
+SYN = 2
+SYNACK = 3
+
+_KIND_NAMES = {DATA: "DATA", ACK: "ACK", SYN: "SYN", SYNACK: "SYNACK"}
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name for a packet kind constant."""
+    return _KIND_NAMES.get(kind, f"UNKNOWN({kind})")
+
+
+class Packet:
+    """One simulated packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Integer id of the flow this packet belongs to (engine-assigned).
+    kind:
+        One of :data:`DATA`, :data:`ACK`, :data:`SYN`, :data:`SYNACK`.
+    seq:
+        Sequence number within the flow; ACKs echo the acknowledged
+        sequence number.
+    path_id:
+        The FLoc domain-path identifier ``(AS_i, ..., AS_1)`` stamped by the
+        BGP speaker of the packet's origin domain (paper Section III-A).
+    route:
+        The node-id route this packet follows, as a tuple; ``hop`` indexes
+        the link about to be traversed (``route[hop] -> route[hop + 1]``).
+    src_addr / dst_addr:
+        Endpoint addresses used by capability hashing (host ids double as
+        addresses).
+    sent_tick:
+        Tick at which the source emitted the packet (for RTT bookkeeping).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "kind",
+        "seq",
+        "path_id",
+        "route",
+        "hop",
+        "src_addr",
+        "dst_addr",
+        "sent_tick",
+        "capability",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        kind: int,
+        seq: int,
+        path_id: Tuple[int, ...],
+        route: Sequence,
+        src_addr,
+        dst_addr,
+        sent_tick: int,
+        capability: Optional[bytes] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.kind = kind
+        self.seq = seq
+        self.path_id = path_id
+        self.route = route
+        self.hop = 0
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+        self.sent_tick = sent_tick
+        self.capability = capability
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(flow={self.flow_id}, {kind_name(self.kind)}, seq={self.seq}, "
+            f"hop={self.hop}/{len(self.route) - 1})"
+        )

@@ -1,0 +1,99 @@
+"""Link admission policies.
+
+A :class:`LinkPolicy` decides, for every packet arriving at a link during a
+tick, whether the packet is enqueued or dropped.  The engine then services
+the FIFO queue at the link's capacity.  FLoc, RED, RED-PD and Pushback are
+all implemented as policies over this interface (see
+:mod:`repro.core.router` and :mod:`repro.baselines`).
+
+Two reference policies live here:
+
+* :class:`DropTailPolicy` — admit until the buffer is full (classic FIFO).
+* :class:`RandomDropPolicy` — when the tick's arrivals plus backlog exceed
+  what the link can hold, drop uniformly at random among this tick's
+  arrivals.  This is the paper's Internet-scale simulator behaviour
+  ("a router randomly selects a packet from the all queued packets during a
+  time tick", Section VII-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .packet import Packet
+
+
+class LinkPolicy:
+    """Base class for per-link admission policies.
+
+    Subclasses may override any subset of the hooks.  The engine guarantees
+    the calling order per tick: :meth:`on_tick` once, then :meth:`admit` for
+    each arrival (in arrival order), then :meth:`on_drop` for every packet
+    dropped on this link this tick (both policy drops and buffer-overflow
+    tail drops), then the queue is serviced.
+    """
+
+    def attach(self, link, engine) -> None:
+        """Called once when the engine starts; stores back-references."""
+        self.link = link
+        self.engine = engine
+
+    def on_tick(self, tick: int) -> None:
+        """Per-tick bookkeeping before any arrival is examined."""
+
+    def admit(self, pkt: Packet, tick: int) -> bool:
+        """Return ``True`` to enqueue ``pkt``, ``False`` to drop it."""
+        return True
+
+    def on_drop(self, pkt: Packet, tick: int) -> None:
+        """Notification that ``pkt`` was dropped on this link."""
+
+    def batch_admit(
+        self, arrivals: List[Packet], tick: int
+    ) -> Optional[List[Packet]]:
+        """Optional whole-tick admission.
+
+        Return a list of admitted packets to bypass per-packet
+        :meth:`admit` calls (the engine treats the rest as drops), or
+        ``None`` to use per-packet admission.  Policies that need to see a
+        tick's arrivals together (random selection among arrivals) use this.
+        """
+        return None
+
+
+class DropTailPolicy(LinkPolicy):
+    """Classic FIFO drop-tail: admit while the buffer has room."""
+
+    def admit(self, pkt: Packet, tick: int) -> bool:
+        buffer = self.link.buffer
+        return buffer is None or len(self.link.queue) < buffer
+
+
+class RandomDropPolicy(LinkPolicy):
+    """Random drop among a tick's arrivals when the buffer would overflow.
+
+    Matches the coarse queue approximation of the paper's Internet-scale
+    simulator: when more packets arrive in a tick than the link can buffer
+    and serve, the overflow victims are picked uniformly at random from the
+    arrivals rather than strictly from the tail.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng
+
+    def attach(self, link, engine) -> None:
+        super().attach(link, engine)
+        if self._rng is None:
+            self._rng = engine.spawn_rng("random-drop")
+
+    def batch_admit(self, arrivals: List[Packet], tick: int) -> List[Packet]:
+        link = self.link
+        if link.buffer is None:
+            return list(arrivals)
+        room = link.buffer - len(link.queue)
+        if room >= len(arrivals):
+            return list(arrivals)
+        if room <= 0:
+            return []
+        return self._rng.sample(arrivals, room)

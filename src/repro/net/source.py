@@ -1,0 +1,34 @@
+"""Base class for traffic sources.
+
+A traffic source owns one or more flows and is driven by the engine:
+:meth:`TrafficSource.on_tick` is called once per tick (emission phase), and
+:meth:`on_ack` / :meth:`on_synack` are called when acknowledgements reach
+the source host.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .engine import Engine, FlowInfo
+from .packet import Packet
+
+
+class TrafficSource:
+    """Abstract traffic source; subclasses emit packets in :meth:`on_tick`."""
+
+    def flows(self) -> Iterable[FlowInfo]:
+        """The flows this source owns (used by the engine to route ACKs)."""
+        raise NotImplementedError
+
+    def on_tick(self, engine: Engine, tick: int) -> None:
+        """Emit packets for this tick."""
+        raise NotImplementedError
+
+    def on_ack(self, engine: Engine, flow: FlowInfo, pkt: Packet, tick: int) -> None:
+        """An ACK for ``pkt.seq`` reached the source host (default: ignore)."""
+
+    def on_synack(
+        self, engine: Engine, flow: FlowInfo, pkt: Packet, tick: int
+    ) -> None:
+        """A SYN-ACK reached the source host (default: ignore)."""

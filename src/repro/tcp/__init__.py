@@ -1,0 +1,16 @@
+"""TCP substrate: an AIMD packet-level source and the analytic flow model.
+
+:class:`~repro.tcp.source.TcpSource` is a Reno-style congestion-controlled
+sender used for all legitimate traffic in the evaluation (and for the
+"high-population TCP attack", which is simply more of them).
+
+:mod:`repro.tcp.model` implements the analytic model of paper Section IV-A
+(window distribution, mean time to drop, token-bucket parameter equations
+IV.1-IV.3) and Section V-B.1 (drop-ratio/flow-count estimation), which the
+FLoc router uses to derive its parameters.
+"""
+
+from .source import TcpSource
+from . import model, validation
+
+__all__ = ["TcpSource", "model", "validation"]

@@ -1,0 +1,5 @@
+"""Compatibility shim: :class:`TrafficSource` lives in :mod:`repro.net.source`."""
+
+from ..net.source import TrafficSource
+
+__all__ = ["TrafficSource"]

@@ -1,0 +1,78 @@
+"""Bandwidth accounting by category."""
+
+import pytest
+
+from repro.analysis.accounting import (
+    ATTACK,
+    LEGIT_IN_ATTACK,
+    LEGIT_IN_LEGIT,
+    breakdown,
+    categorize_flows,
+    per_flow_rates,
+)
+from repro.net.engine import FlowInfo, LinkMonitor
+from repro.units import UnitScale
+
+
+def make_flow(flow_id, pid, is_attack=False):
+    return FlowInfo(
+        flow_id, f"h{flow_id}", "srv", ("h", "r", "srv"), ("srv", "r", "h"),
+        pid, is_attack,
+    )
+
+
+@pytest.fixture
+def flows():
+    return [
+        make_flow(0, (1, 9)),             # legit in legit path
+        make_flow(1, (2, 9)),             # legit in attack path
+        make_flow(2, (2, 9), is_attack=True),
+    ]
+
+
+class TestCategorize:
+    def test_three_categories(self, flows):
+        cats = categorize_flows(flows, attack_path_ids=[(2, 9)])
+        assert cats[0] == LEGIT_IN_LEGIT
+        assert cats[1] == LEGIT_IN_ATTACK
+        assert cats[2] == ATTACK
+
+    def test_attack_flag_wins_over_path(self):
+        flow = make_flow(0, (1, 9), is_attack=True)
+        cats = categorize_flows([flow], attack_path_ids=[])
+        assert cats[0] == ATTACK
+
+
+class TestBreakdown:
+    def test_shares_sum_to_utilization(self, flows):
+        monitor = LinkMonitor()
+        monitor.service_counts = {0: 60, 1: 30, 2: 10}
+        result = breakdown(monitor, flows, [(2, 9)], capacity=10.0,
+                           window_ticks=10)
+        assert result.legit_in_legit == pytest.approx(0.6)
+        assert result.legit_in_attack == pytest.approx(0.3)
+        assert result.attack == pytest.approx(0.1)
+        assert result.utilization == pytest.approx(1.0)
+        assert result.legit_total == pytest.approx(0.9)
+
+    def test_unknown_flows_ignored(self, flows):
+        monitor = LinkMonitor()
+        monitor.service_counts = {0: 50, 99: 1000}
+        result = breakdown(monitor, flows, [(2, 9)], capacity=10.0,
+                           window_ticks=10)
+        assert result.utilization == pytest.approx(0.5)
+
+
+class TestPerFlowRates:
+    def test_rates_in_mbps(self, flows):
+        units = UnitScale()  # 10ms ticks, 1500B packets
+        monitor = LinkMonitor()
+        monitor.service_counts = {0: 100}
+        rates = per_flow_rates(monitor, [0, 1], window_ticks=100, units=units)
+        # 1 pkt/tick = 1.2 Mbps at this scale
+        assert rates[0] == pytest.approx(1.2)
+        assert rates[1] == 0.0  # starved flows count as zero
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            per_flow_rates(LinkMonitor(), [0], 0, UnitScale())

@@ -1,0 +1,49 @@
+"""Empirical CDF helpers."""
+
+import pytest
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, percentile
+
+
+class TestEmpiricalCdf:
+    def test_simple(self):
+        assert empirical_cdf([2.0, 1.0, 2.0]) == [
+            (1.0, pytest.approx(1 / 3)),
+            (2.0, pytest.approx(1.0)),
+        ]
+
+    def test_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_monotone(self):
+        points = empirical_cdf([5, 3, 9, 1, 1, 7])
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+
+class TestCdfAt:
+    def test_fractions(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 0.5) == 0.0
+        assert cdf_at(values, 2.0) == 0.5
+        assert cdf_at(values, 10.0) == 1.0
+
+    def test_empty(self):
+        assert cdf_at([], 1.0) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_extremes(self):
+        values = [10, 20, 30]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 30
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)

@@ -1,0 +1,36 @@
+"""CSV export round trips."""
+
+from repro.analysis.export import read_csv, write_csv
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", ["a", "b"], [[1, 2.5], ["x", "y"]]
+        )
+        headers, rows = read_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "2.5"], ["x", "y"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nest" / "f.csv", ["h"], [[1]])
+        assert path.exists()
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv(tmp_path / "e.csv", ["only", "headers"], [])
+        headers, rows = read_csv(path)
+        assert headers == ["only", "headers"]
+        assert rows == []
+
+    def test_read_empty_file(self, tmp_path):
+        empty = tmp_path / "none.csv"
+        empty.write_text("")
+        assert read_csv(empty) == ([], [])
+
+    def test_cli_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig04", "--csv", str(tmp_path)]) == 0
+        headers, rows = read_csv(tmp_path / "fig04.csv")
+        assert headers == ["case", "token utilization"]
+        assert len(rows) == 3

@@ -1,0 +1,59 @@
+"""Table rendering and the per-key time-series monitor."""
+
+from repro.analysis.report import format_table
+from repro.analysis.timeseries import CategorySeriesMonitor
+from repro.net.packet import DATA, Packet
+
+
+def make_packet(flow_id, pid):
+    return Packet(flow_id, DATA, 0, pid, ("a", "b"), "a", "b", 0)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "x"], [["a", 1.23456], ["bbbb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in lines[1]
+        assert lines[2].startswith("bbbb")
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert text.splitlines() == ["a  b"]
+
+
+class TestCategorySeriesMonitor:
+    def test_bins_by_key(self):
+        mon = CategorySeriesMonitor(key_fn=lambda p: p.path_id, bin_ticks=10)
+        for tick in range(25):
+            mon.on_service(make_packet(0, (1,)), tick)
+        for tick in range(5):
+            mon.on_service(make_packet(1, (2,)), tick)
+        assert mon.rate_series((1,), 3) == [1.0, 1.0, 0.5]
+        assert mon.rate_series((2,), 3) == [0.5, 0.0, 0.0]
+
+    def test_mean_rate(self):
+        mon = CategorySeriesMonitor(key_fn=lambda p: p.path_id, bin_ticks=10)
+        for tick in range(20):
+            mon.on_service(make_packet(0, (1,)), tick)
+        assert mon.mean_rate((1,), 2) == 1.0
+
+    def test_window_respected(self):
+        mon = CategorySeriesMonitor(
+            key_fn=lambda p: p.path_id, bin_ticks=10, start_tick=100
+        )
+        mon.on_service(make_packet(0, (1,)), 50)
+        assert mon.rate_series((1,), 1) == [0.0]
+
+    def test_unknown_key_gives_zeros(self):
+        mon = CategorySeriesMonitor(key_fn=lambda p: p.path_id, bin_ticks=10)
+        assert mon.rate_series((9,), 2) == [0.0, 0.0]
+
+    def test_base_counters_still_work(self):
+        mon = CategorySeriesMonitor(key_fn=lambda p: p.path_id, bin_ticks=10)
+        mon.on_service(make_packet(3, (1,)), 0)
+        assert mon.service_counts == {3: 1}

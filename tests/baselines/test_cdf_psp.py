@@ -1,0 +1,81 @@
+"""CDF-PSP baseline: history learning and its structural weaknesses."""
+
+import pytest
+
+from repro.baselines.cdf_psp import CdfPspPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def build(attack_starts=1500, attack_rate=5.0, capacity=4.0,
+          training_ticks=800):
+    """Two domains of TCP flows; bots join domain 2 after training."""
+    topo = Topology()
+    for i in range(4):
+        topo.add_duplex_link(f"h{i}", "r0", capacity=None)
+    topo.add_duplex_link("bot", "r0", capacity=None)
+    topo.add_duplex_link("r0", "srv", capacity=capacity, buffer=60)
+    policy = CdfPspPolicy(training_ticks=training_ticks)
+    topo.set_policy("r0", "srv", policy)
+    engine = Engine(topo, seed=8)
+    tcp_flows = []
+    for i in range(4):
+        pid = (1, 9) if i < 2 else (2, 9)
+        flow = engine.open_flow(f"h{i}", "srv", path_id=pid)
+        engine.add_source(TcpSource(flow, start_tick=3 * i))
+        tcp_flows.append(flow)
+    bot_flow = engine.open_flow("bot", "srv", path_id=(2, 9), is_attack=True)
+    engine.add_source(
+        CbrSource(bot_flow, rate=attack_rate, start_tick=attack_starts)
+    )
+    return engine, policy, tcp_flows, bot_flow
+
+
+class TestCdfPsp:
+    def test_history_learned_during_training(self):
+        engine, policy, _, _ = build()
+        engine.run(1000)
+        assert 1 in policy.history and 2 in policy.history
+        assert policy.history[1] > 0
+
+    def test_post_training_attack_rate_limited(self):
+        engine, policy, tcp_flows, bot_flow = build()
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(4000)
+        # the bot inflates aggregate 2 far beyond its history: the excess
+        # is low priority and mostly dropped under congestion
+        bot_rate = monitor.service_counts.get(bot_flow.flow_id, 0) / 4000.0
+        assert bot_rate < 3.0
+        assert policy.low_priority_drops > 0
+
+    def test_historically_quiet_legit_burst_is_punished(self):
+        """The paper's critique: legitimate flows exceeding their path's
+        history receive low bandwidth allocations."""
+        engine, policy, tcp_flows, _ = build(attack_starts=10_000)
+        # new legitimate flow appears *after* training on a fresh domain
+        engine.topology.add_duplex_link("late", "r0", capacity=None)
+        late_flow = engine.open_flow("late", "srv", path_id=(3, 9))
+        engine.add_source(TcpSource(late_flow, start_tick=1200))
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(4000)
+        late_rate = monitor.service_counts.get(late_flow.flow_id, 0)
+        veteran = max(
+            monitor.service_counts.get(f.flow_id, 0) for f in tcp_flows
+        )
+        # with no history, the newcomer is low priority whenever the link
+        # is busy: it gets less than established flows
+        assert late_rate < veteran
+
+    def test_attack_on_high_history_path_inherits_allocation(self):
+        """Critique 2: history is not legitimacy — a bot on a path with a
+        fat historical profile rides that profile."""
+        engine, policy, _, bot_flow = build(attack_starts=1500)
+        engine.run(1400)  # training saw healthy domain-2 traffic
+        history_before = policy.history[2]
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(2000)
+        bot = monitor.service_counts.get(bot_flow.flow_id, 0) / 2000.0
+        # the bot gets at least the domain's historical rate
+        assert bot >= 0.5 * history_before

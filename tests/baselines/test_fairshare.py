@@ -1,0 +1,72 @@
+"""Oracle per-flow fairness (FF) baseline."""
+
+import pytest
+
+from repro.baselines.fairshare import FairSharePolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def ff_engine(n_tcp=3, n_bots=3, bot_rate=4.0, capacity=6.0):
+    topo = Topology()
+    for i in range(n_tcp):
+        topo.add_duplex_link(f"h{i}", "r0", capacity=None)
+    for i in range(n_bots):
+        topo.add_duplex_link(f"b{i}", "r0", capacity=None)
+    topo.add_duplex_link("r0", "srv", capacity=capacity, buffer=60)
+    policy = FairSharePolicy()
+    topo.set_policy("r0", "srv", policy)
+    engine = Engine(topo, seed=6)
+    tcp_flows, bot_flows = [], []
+    for i in range(n_tcp):
+        flow = engine.open_flow(f"h{i}", "srv", path_id=(1,))
+        engine.add_source(TcpSource(flow, start_tick=2 * i))
+        tcp_flows.append(flow)
+    for i in range(n_bots):
+        flow = engine.open_flow(f"b{i}", "srv", path_id=(2,), is_attack=True)
+        engine.add_source(CbrSource(flow, rate=bot_rate))
+        bot_flows.append(flow)
+    return engine, policy, tcp_flows, bot_flows
+
+
+class TestFairShare:
+    def test_fair_rate_derived_from_flow_table(self):
+        engine, policy, _, _ = ff_engine()
+        engine.run(1)
+        assert policy.fair_rate == pytest.approx(6.0 / 6.0)
+
+    def test_bots_capped_near_fair_share(self):
+        engine, policy, _, bot_flows = ff_engine()
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(2000)
+        for flow in bot_flows:
+            rate = monitor.service_counts.get(flow.flow_id, 0) / 2000.0
+            assert rate < 1.6  # offered 4.0, fair 1.0 (+ idle leftovers)
+
+    def test_legit_flows_get_at_least_attack_per_flow(self):
+        engine, policy, tcp_flows, bot_flows = ff_engine()
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(3000)
+        mean = lambda flows: sum(
+            monitor.service_counts.get(f.flow_id, 0) for f in flows
+        ) / len(flows)
+        assert mean(tcp_flows) > 0.6 * mean(bot_flows)
+
+    def test_low_priority_drops_counted(self):
+        engine, policy, _, _ = ff_engine()
+        engine.run(1000)
+        assert policy.low_priority_drops > 0
+
+    def test_oracle_fails_against_many_attack_flows(self):
+        """The covert-attack weakness: per-flow fairness hands the link to
+        whoever owns the most flows."""
+        engine, policy, tcp_flows, bot_flows = ff_engine(
+            n_tcp=2, n_bots=20, bot_rate=1.0, capacity=6.0
+        )
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(2000)
+        legit = sum(monitor.service_counts.get(f.flow_id, 0) for f in tcp_flows)
+        attack = sum(monitor.service_counts.get(f.flow_id, 0) for f in bot_flows)
+        assert attack > 1.5 * legit

@@ -1,0 +1,85 @@
+"""Pushback: aggregate identification, rate limiting, release."""
+
+import pytest
+
+from repro.baselines.pushback import PushbackPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def pushback_engine(attack_rate=5.0, n_tcp=4, capacity=4.0, propagate=False):
+    """Two origin domains: AS 1 (legit TCP), AS 2 (CBR bots)."""
+    topo = Topology()
+    topo.add_duplex_link("up1", "r0", capacity=None)
+    topo.add_duplex_link("up2", "r0", capacity=None)
+    for i in range(n_tcp):
+        topo.add_duplex_link(f"h{i}", "up1", capacity=None)
+    topo.add_duplex_link("bot", "up2", capacity=None)
+    topo.add_duplex_link("r0", "srv", capacity=capacity, buffer=80)
+    policy = PushbackPolicy(interval_ticks=50, propagate=propagate)
+    topo.set_policy("r0", "srv", policy)
+    engine = Engine(topo, seed=4)
+    tcp_flows = []
+    for i in range(n_tcp):
+        flow = engine.open_flow(f"h{i}", "srv", path_id=(1, 9))
+        engine.add_source(TcpSource(flow, start_tick=2 * i))
+        tcp_flows.append(flow)
+    bot_flow = engine.open_flow("bot", "srv", path_id=(2, 9), is_attack=True)
+    engine.add_source(CbrSource(bot_flow, rate=attack_rate))
+    return engine, policy, tcp_flows, bot_flow
+
+
+class TestAggregateControl:
+    def test_attack_aggregate_rate_limited(self):
+        engine, policy, _, bot_flow = pushback_engine()
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(3000)
+        assert 2 in policy.limiters  # origin AS of the bot aggregate
+        bot_rate = monitor.service_counts.get(bot_flow.flow_id, 0) / 3000.0
+        assert bot_rate < 3.0  # well below the offered 5.0
+
+    def test_legit_flows_recover_bandwidth(self):
+        engine, policy, tcp_flows, _ = pushback_engine()
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(3000)
+        legit = sum(monitor.service_counts.get(f.flow_id, 0) for f in tcp_flows)
+        assert legit / 3000.0 > 1.2  # legit aggregate gets a real share
+
+    def test_no_limiters_without_congestion(self):
+        engine, policy, _, _ = pushback_engine(attack_rate=0.5, capacity=50.0)
+        engine.run(2000)
+        assert not policy.limiters
+
+    def test_limiter_released_after_attack_stops(self):
+        engine, policy, _, _ = pushback_engine()
+        engine.run(1500)
+        assert policy.limiters
+        # silence the bot and let release intervals elapse
+        for source in engine._sources:
+            if isinstance(source, CbrSource):
+                source.stop_tick = engine.tick
+        engine.run(3000)
+        assert not policy.limiters
+
+    def test_collateral_damage_within_aggregate(self):
+        """The paper's critique: Pushback cannot protect legitimate flows
+        inside a rate-limited aggregate."""
+        engine, policy, _, bot_flow = pushback_engine()
+        # add one legitimate flow inside the attack aggregate (AS 2)
+        topo = engine.topology
+        topo.add_duplex_link("victim", "up2", capacity=None)
+        victim_flow = engine.open_flow("victim", "srv", path_id=(2, 9))
+        engine.add_source(TcpSource(victim_flow))
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(4000)
+        victim_rate = monitor.service_counts.get(victim_flow.flow_id, 0) / 4000.0
+        fair = 4.0 / 6.0  # capacity over all flows
+        assert victim_rate < 0.75 * fair  # squeezed by its aggregate's limit
+
+    def test_propagation_installs_upstream_limiters(self):
+        engine, policy, _, _ = pushback_engine(propagate=True)
+        engine.run(2000)
+        up_link = engine.topology.link("up2", "r0")
+        assert up_link.policy is not None

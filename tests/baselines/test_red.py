@@ -1,0 +1,77 @@
+"""RED queue behaviour."""
+
+import pytest
+
+from repro.baselines.red import RedPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def red_engine(capacity=5.0, buffer=100, n_tcp=4, cbr_rate=None, seed=2,
+               policy=None):
+    topo = Topology()
+    for i in range(n_tcp + (1 if cbr_rate else 0)):
+        topo.add_duplex_link(f"h{i}", "r0", capacity=None)
+    topo.add_duplex_link("r0", "r1", capacity=capacity, buffer=buffer)
+    topo.add_duplex_link("r1", "srv", capacity=None)
+    policy = policy or RedPolicy()
+    topo.set_policy("r0", "r1", policy)
+    engine = Engine(topo, seed=seed)
+    sources = []
+    for i in range(n_tcp):
+        flow = engine.open_flow(f"h{i}", "srv", path_id=(1,))
+        src = TcpSource(flow, start_tick=3 * i)
+        engine.add_source(src)
+        sources.append(src)
+    if cbr_rate:
+        flow = engine.open_flow(f"h{n_tcp}", "srv", path_id=(1,),
+                                is_attack=True)
+        src = CbrSource(flow, rate=cbr_rate)
+        engine.add_source(src)
+        sources.append(src)
+    return engine, policy, sources
+
+
+class TestRed:
+    def test_thresholds_default_from_buffer(self):
+        engine, policy, _ = red_engine(buffer=200)
+        engine.run(1)
+        assert policy.min_th == pytest.approx(40.0)
+        assert policy.max_th == pytest.approx(120.0)
+
+    def test_early_drops_under_congestion(self):
+        engine, policy, _ = red_engine(capacity=2.0, n_tcp=8)
+        engine.run(2000)
+        assert policy.early_drops > 0
+
+    def test_no_drops_when_uncongested(self):
+        engine, policy, _ = red_engine(capacity=100.0, n_tcp=2)
+        engine.run(1000)
+        assert policy.early_drops == 0
+        assert policy.forced_drops == 0
+
+    def test_standing_queue_kept_below_buffer(self):
+        engine, policy, _ = red_engine(capacity=2.0, buffer=100, n_tcp=8)
+        engine.run(500)  # let slow-start transients pass
+        link = engine.topology.link("r0", "r1")
+        samples = []
+        for _ in range(100):
+            engine.run(10)
+            samples.append(len(link.queue))
+        # RED keeps the *standing* queue well below the physical buffer
+        assert sum(samples) / len(samples) < 80
+        assert policy.avg < 90
+
+    def test_full_utilization_under_load(self):
+        engine, policy, _ = red_engine(capacity=2.0, n_tcp=8)
+        monitor = engine.add_monitor("r0", "r1")
+        engine.run(2000)
+        assert monitor.total_serviced > 0.85 * 2.0 * 2000
+
+    def test_control_packets_never_red_dropped(self):
+        engine, policy, _ = red_engine(capacity=2.0, n_tcp=8)
+        engine.run(2000)
+        # all sources eventually complete the handshake despite congestion
+        assert all(getattr(s, "established", True) for s in engine._sources)

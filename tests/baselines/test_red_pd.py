@@ -1,0 +1,70 @@
+"""RED-PD: drop-history identification and preferential dropping."""
+
+import pytest
+
+from repro.baselines.red_pd import RedPdPolicy
+from tests.baselines.test_red import red_engine
+
+
+class TestIdentification:
+    def test_high_rate_flow_monitored(self):
+        engine, policy, sources = red_engine(
+            capacity=4.0, n_tcp=4, cbr_rate=3.0,
+            policy=RedPdPolicy(interval_ticks=30),
+        )
+        engine.run(2000)
+        cbr_flow_id = sources[-1].flow.flow_id
+        assert cbr_flow_id in policy.monitored
+
+    def test_monitored_flow_rate_limited(self):
+        engine, policy, sources = red_engine(
+            capacity=4.0, n_tcp=4, cbr_rate=3.0,
+            policy=RedPdPolicy(interval_ticks=30),
+        )
+        monitor = engine.add_monitor("r0", "r1")
+        engine.run(3000)
+        cbr_flow_id = sources[-1].flow.flow_id
+        cbr_rate = monitor.service_counts.get(cbr_flow_id, 0) / 3000.0
+        # the 3.0 pkt/tick aggressor is pushed toward the fair rate (0.8)
+        assert cbr_rate < 1.8
+        assert policy.prefilter_drops > 0
+
+    def test_drop_prob_settles_at_working_level(self):
+        """The adaptive drop probability oscillates around the level that
+        pins the aggressor near the target rate: it must stay engaged
+        (well above zero) for as long as the flow keeps blasting."""
+        engine, policy, sources = red_engine(
+            capacity=4.0, n_tcp=4, cbr_rate=3.0,
+            policy=RedPdPolicy(interval_ticks=30),
+        )
+        cbr_flow_id = sources[-1].flow.flow_id
+        engine.run(1200)
+        assert cbr_flow_id in policy.monitored
+        samples = []
+        for _ in range(8):
+            engine.run(300)
+            mon = policy.monitored.get(cbr_flow_id)
+            samples.append(mon.drop_prob if mon else 0.0)
+        assert sum(samples) / len(samples) > 0.15
+
+    def test_tcp_flows_eventually_released(self):
+        # without an aggressor, any monitored TCP flow must be released
+        engine, policy, _ = red_engine(
+            capacity=3.0, n_tcp=6, policy=RedPdPolicy(interval_ticks=30)
+        )
+        engine.run(4000)
+        # no flow should be stuck at high drop probability
+        for mon in policy.monitored.values():
+            assert mon.drop_prob < 0.5
+
+    def test_legit_flows_keep_most_bandwidth(self):
+        engine, policy, sources = red_engine(
+            capacity=4.0, n_tcp=4, cbr_rate=3.0,
+            policy=RedPdPolicy(interval_ticks=30),
+        )
+        monitor = engine.add_monitor("r0", "r1")
+        engine.run(3000)
+        cbr_flow_id = sources[-1].flow.flow_id
+        total = monitor.total_serviced
+        cbr = monitor.service_counts.get(cbr_flow_id, 0)
+        assert (total - cbr) / total > 0.5

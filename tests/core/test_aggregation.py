@@ -1,0 +1,147 @@
+"""Attack-path aggregation (Algorithm 1) and legitimate-path aggregation."""
+
+import pytest
+
+from repro.core.aggregation import (
+    AggregationPlan,
+    aggregate_attack_paths,
+    aggregate_legitimate_paths,
+    build_plan,
+    legitimate_aggregation_cost,
+)
+from repro.errors import ConfigError
+
+ROOT_AS = 99
+
+
+def pid(origin, parent):
+    """Origin -> parent -> root path id."""
+    return (origin, parent, ROOT_AS)
+
+
+class TestAttackAggregation:
+    def test_no_aggregation_when_within_budget(self):
+        pids = [pid(1, 10), pid(2, 10)]
+        groups = aggregate_attack_paths(pids, {}, n_legit_paths=5, s_max=10)
+        assert groups == []
+
+    def test_reduces_identifier_count_to_budget(self):
+        # 6 attack paths behind two parents; budget allows 2 identifiers
+        pids = [pid(i, 10) for i in range(3)] + [pid(i, 11) for i in range(3, 6)]
+        conf = {p: 0.2 for p in pids}
+        groups = aggregate_attack_paths(pids, conf, n_legit_paths=8, s_max=10)
+        merged = sum(len(m) for _, m in groups)
+        remaining = len(pids) - merged + len(groups)
+        assert remaining <= 10 - 8
+
+    def test_prefers_low_conformance_subtree(self):
+        # parent 10's children are dirtier: it should aggregate first
+        dirty = [pid(i, 10) for i in range(3)]
+        cleaner = [pid(i, 11) for i in range(3, 6)]
+        conf = {p: 0.1 for p in dirty}
+        conf.update({p: 0.45 for p in cleaner})
+        groups = aggregate_attack_paths(
+            dirty + cleaner, conf, n_legit_paths=0, s_max=4
+        )
+        suffixes = [s for s, _ in groups]
+        assert (10, ROOT_AS) in suffixes
+
+    def test_fallback_merges_everything(self):
+        # budget of 1 identifier for 6 paths across distinct parents
+        pids = [pid(i, 10 + i) for i in range(6)]
+        conf = {p: 0.3 for p in pids}
+        groups = aggregate_attack_paths(pids, conf, n_legit_paths=10, s_max=11)
+        assert len(groups) == 1
+        assert sorted(groups[0][1]) == sorted(pids)
+
+    def test_invalid_s_max(self):
+        with pytest.raises(ConfigError):
+            aggregate_attack_paths([pid(1, 2)], {}, 0, s_max=0)
+
+    def test_groups_are_disjoint(self):
+        pids = [pid(i, 10) for i in range(4)] + [pid(i, 11) for i in range(4, 8)]
+        conf = {p: 0.2 for p in pids}
+        groups = aggregate_attack_paths(pids, conf, n_legit_paths=0, s_max=3)
+        seen = set()
+        for _, members in groups:
+            for m in members:
+                assert m not in seen
+                seen.add(m)
+
+
+class TestLegitimateAggregation:
+    def test_cost_zero_for_equal_conformance(self):
+        members = [pid(1, 10), pid(2, 10)]
+        cost = legitimate_aggregation_cost(
+            members, {p: 1.0 for p in members}, {members[0]: 15, members[1]: 30}
+        )
+        assert cost == pytest.approx(0.0)
+
+    def test_equal_conformance_merges_proportionally(self):
+        # the Fig. 9 case: same conformance, different populations
+        pids = [pid(i, 10 + i // 3) for i in range(9)]
+        conf = {p: 1.0 for p in pids}
+        counts = {p: (15 if i % 2 == 0 else 30) for i, p in enumerate(pids)}
+        groups = aggregate_legitimate_paths(pids, conf, counts)
+        assert sum(len(m) for _, m in groups) == 9
+
+    def test_covert_guard_vetoes_huge_population(self):
+        pids = [pid(i, 10) for i in range(4)]
+        conf = {p: 1.0 for p in pids}
+        counts = {p: 30.0 for p in pids}
+        counts[pids[0]] = 100_000.0  # covert path: enormous flow count
+        groups = aggregate_legitimate_paths(pids, conf, counts)
+        for _, members in groups:
+            assert pids[0] not in members
+
+    def test_single_path_no_groups(self):
+        assert aggregate_legitimate_paths([pid(1, 2)], {}, {}) == []
+
+    def test_conformance_weighting_blocks_bad_merge(self):
+        # merging would shift weight to a low-conformance populous path
+        pids = [pid(1, 10), pid(2, 10)]
+        conf = {pids[0]: 1.0, pids[1]: 0.6}
+        counts = {pids[0]: 10.0, pids[1]: 100.0}
+        # weighted mean < plain mean -> cost > 0 -> no merge
+        assert (
+            legitimate_aggregation_cost(pids, conf, counts) > 0
+        )
+        assert aggregate_legitimate_paths(pids, conf, counts) == []
+
+
+class TestBuildPlan:
+    def test_identity_plan(self):
+        plan = AggregationPlan.identity([pid(1, 2), pid(3, 4)])
+        assert plan.n_groups == 2
+        assert plan.total_shares() == 2.0
+        assert plan.group(pid(1, 2)) == pid(1, 2)
+
+    def test_plan_share_semantics(self):
+        legit = [pid(i, 10) for i in range(3)]
+        attack = [pid(i, 20) for i in range(5, 9)]
+        conf = {p: 1.0 for p in legit}
+        conf.update({p: 0.1 for p in attack})
+        counts = {p: 10.0 for p in legit + attack}
+        plan = build_plan(legit, attack, conf, counts, s_max=4)
+        # attack groups hold one share each; legit merged group holds one
+        # share per member
+        for key in plan.aggregated_groups():
+            if key[0] == "AGG-A":
+                assert plan.shares[key] == 1.0
+            else:
+                assert plan.shares[key] == float(len(plan.members[key]))
+
+    def test_plan_covers_every_path(self):
+        legit = [pid(i, 10) for i in range(3)]
+        attack = [pid(i, 20) for i in range(5, 9)]
+        conf = {p: 0.1 for p in attack}
+        counts = {p: 10.0 for p in legit + attack}
+        plan = build_plan(legit, attack, conf, counts, s_max=5)
+        for p in legit + attack:
+            assert plan.group(p) in plan.members
+
+    def test_no_s_max_skips_attack_aggregation(self):
+        attack = [pid(i, 20) for i in range(4)]
+        conf = {p: 0.1 for p in attack}
+        plan = build_plan([], attack, conf, {p: 5.0 for p in attack}, s_max=None)
+        assert plan.n_groups == 4

@@ -1,0 +1,73 @@
+"""Two-part capabilities: authenticity and the covert fanout limit."""
+
+import pytest
+
+from repro.core.capability import CapabilityIssuer
+
+
+@pytest.fixture
+def issuer():
+    return CapabilityIssuer(b"secret", n_max=2)
+
+
+class TestAuthenticity:
+    def test_issue_verify_roundtrip(self, issuer):
+        cap = issuer.issue("10.0.0.1", "10.9.9.9", (1, 2, 3))
+        assert issuer.verify(cap, "10.0.0.1", "10.9.9.9", (1, 2, 3))
+
+    def test_wrong_source_rejected(self, issuer):
+        cap = issuer.issue("10.0.0.1", "10.9.9.9", (1, 2, 3))
+        assert not issuer.verify(cap, "10.0.0.2", "10.9.9.9", (1, 2, 3))
+
+    def test_wrong_path_rejected(self, issuer):
+        cap = issuer.issue("10.0.0.1", "10.9.9.9", (1, 2, 3))
+        assert not issuer.verify(cap, "10.0.0.1", "10.9.9.9", (1, 2, 4))
+
+    def test_none_capability_rejected(self, issuer):
+        assert not issuer.verify(None, "a", "b", (1,))
+
+    def test_truncated_capability_rejected(self, issuer):
+        cap = issuer.issue("a", "b", (1,))
+        assert not issuer.verify(cap[:-1], "a", "b", (1,))
+
+    def test_router_secret_matters(self):
+        a = CapabilityIssuer(b"alpha")
+        b = CapabilityIssuer(b"beta")
+        cap = a.issue("s", "d", (1,))
+        assert not b.verify(cap, "s", "d", (1,))
+
+
+class TestFanoutLimit:
+    def test_buckets_bounded_by_n_max(self, issuer):
+        buckets = {issuer.fanout_bucket(f"dst{i}") for i in range(200)}
+        assert buckets <= {0, 1}
+        assert len(buckets) == 2  # both buckets in use across many dsts
+
+    def test_account_key_collapses_covert_flows(self, issuer):
+        # one source, many destinations -> at most n_max accounting units
+        keys = {
+            issuer.account_key("bot", f"dst{i}", (1, 2)) for i in range(50)
+        }
+        assert len(keys) <= issuer.n_max
+
+    def test_account_key_separates_sources(self, issuer):
+        k1 = issuer.account_key("botA", "dst", (1, 2))
+        k2 = issuer.account_key("botB", "dst", (1, 2))
+        assert k1 != k2
+
+    def test_account_key_separates_paths(self, issuer):
+        k1 = issuer.account_key("bot", "dst", (1, 2))
+        k2 = issuer.account_key("bot", "dst", (3, 2))
+        assert k1 != k2
+
+    def test_n_max_one_collapses_everything(self):
+        issuer = CapabilityIssuer(b"s", n_max=1)
+        keys = {issuer.account_key("bot", f"d{i}", (1,)) for i in range(20)}
+        assert len(keys) == 1
+
+    def test_invalid_n_max_rejected(self):
+        with pytest.raises(ValueError):
+            CapabilityIssuer(b"s", n_max=0)
+
+    def test_bucket_deterministic(self, issuer):
+        assert issuer.fanout_bucket("x") == issuer.fanout_bucket("x")

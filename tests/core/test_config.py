@@ -1,0 +1,47 @@
+"""FLoc configuration validation."""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = FLocConfig()
+        assert cfg.beta == 0.2  # Eq. IV.6 smoothing, paper's value
+        assert cfg.q_min_fraction == 0.2  # 20% of buffer
+        assert cfg.rtt_correction == 0.5  # divide average RTT by 2
+        assert cfg.n_max == 2  # covert-attack experiment value
+        assert cfg.legit_agg_bandwidth_cap == 0.5  # 50% growth veto
+
+    def test_aggregation_off_by_default(self):
+        assert FLocConfig().s_max is None
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": 0.0},
+            {"beta": 1.0},
+            {"conformance_threshold": 1.5},
+            {"q_min_fraction": 0.0},
+            {"q_min_fraction": 1.0},
+            {"rtt_correction": 0.0},
+            {"s_max": 0},
+            {"measure_interval": 0},
+            {"aggregation_interval": 0},
+            {"attack_mtd_fraction": 0.0},
+            {"attack_mtd_fraction": 1.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FLocConfig(**kwargs)
+
+    def test_valid_custom_config(self):
+        cfg = FLocConfig(s_max=25, n_max=4, preferential_drop=False)
+        assert cfg.s_max == 25
+        assert cfg.n_max == 4
+        assert not cfg.preferential_drop

@@ -1,0 +1,75 @@
+"""Path-conformance EWMA (Eq. IV.6)."""
+
+import pytest
+
+from repro.core.conformance import ConformanceTracker
+from repro.errors import ConfigError
+
+
+class TestUpdate:
+    def test_initial_value_fully_conformant(self):
+        tracker = ConformanceTracker()
+        assert tracker.value((1, 2)) == 1.0
+
+    def test_eq_iv6_single_step(self):
+        tracker = ConformanceTracker(beta=0.2)
+        # instant conformance = 1 - 6/9 = 1/3; E = 0.2/3 + 0.8*1.0
+        value = tracker.update((1,), n_flows=9, n_attack=6)
+        assert value == pytest.approx(0.2 * (1 / 3) + 0.8 * 1.0)
+
+    def test_converges_to_instant_value(self):
+        tracker = ConformanceTracker(beta=0.2)
+        for _ in range(100):
+            tracker.update((1,), n_flows=10, n_attack=5)
+        assert tracker.value((1,)) == pytest.approx(0.5, abs=1e-3)
+
+    def test_zero_flows_counts_as_conformant(self):
+        tracker = ConformanceTracker(beta=0.5, initial=0.0)
+        assert tracker.update((1,), n_flows=0, n_attack=0) == pytest.approx(0.5)
+
+    def test_recovery_after_attack_ends(self):
+        tracker = ConformanceTracker(beta=0.2)
+        for _ in range(20):
+            tracker.update((1,), n_flows=10, n_attack=10)
+        low = tracker.value((1,))
+        for _ in range(40):
+            tracker.update((1,), n_flows=10, n_attack=0)
+        assert tracker.value((1,)) > 0.99 > low
+
+    def test_invalid_counts_rejected(self):
+        tracker = ConformanceTracker()
+        with pytest.raises(ConfigError):
+            tracker.update((1,), n_flows=5, n_attack=6)
+        with pytest.raises(ConfigError):
+            tracker.update((1,), n_flows=-1, n_attack=0)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ConfigError):
+            ConformanceTracker(beta=0.0)
+        with pytest.raises(ConfigError):
+            ConformanceTracker(beta=1.0)
+
+
+class TestPartition:
+    def test_partition_by_threshold(self):
+        tracker = ConformanceTracker(beta=0.5)
+        for _ in range(30):
+            tracker.update((1,), 10, 9)  # heavily contaminated
+            tracker.update((2,), 10, 0)  # clean
+        legit, attack = tracker.partition([(1,), (2,), (3,)], threshold=0.5)
+        assert (1,) in attack
+        assert (2,) in legit
+        assert (3,) in legit  # unknown paths default to conformant
+
+    def test_forget(self):
+        tracker = ConformanceTracker(beta=0.5)
+        tracker.update((1,), 10, 10)
+        tracker.forget((1,))
+        assert tracker.value((1,)) == 1.0
+
+    def test_values_snapshot_is_copy(self):
+        tracker = ConformanceTracker(beta=0.5)
+        tracker.update((1,), 10, 5)
+        snap = tracker.values()
+        snap[(1,)] = 0.0
+        assert tracker.value((1,)) != 0.0

@@ -1,0 +1,67 @@
+"""Flow-count estimation from drop rates (Section V-B.1, router-wired)."""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.traffic.scenarios import build_tree_scenario
+
+
+def run_floc(cfg, seconds=12.0):
+    scenario = build_tree_scenario(
+        scale_factor=0.08,
+        attack_kind="cbr",
+        attack_rate_mbps=2.0,
+        seed=17,
+        start_spread_seconds=0.5,
+    )
+    scenario.attach_policy(FLocPolicy(cfg))
+    monitor = scenario.add_target_monitor(start_seconds=4.0)
+    scenario.run_seconds(seconds)
+    policy = scenario.topology.link(*scenario.target).policy
+    return scenario, policy, monitor
+
+
+class TestEstimation:
+    def test_defense_survives_estimated_counts(self):
+        scenario, policy, monitor = run_floc(
+            FLocConfig(estimate_flow_counts=True)
+        )
+        window = scenario.units.seconds_to_ticks(8.0)
+        attack_paths = set(scenario.attack_path_ids)
+        legit = sum(
+            monitor.service_counts.get(f.flow_id, 0)
+            for f in scenario.legit_flows
+        )
+        share = legit / (scenario.capacity * window)
+        # the estimator-based configuration still protects the majority
+        # of the link for legitimate traffic
+        assert share > 0.6
+
+    def test_estimates_track_exact_counts_on_conformant_groups(self):
+        _, exact_policy, _ = run_floc(FLocConfig())
+        scenario, est_policy, _ = run_floc(
+            FLocConfig(estimate_flow_counts=True)
+        )
+        threshold = est_policy.cfg.conformance_threshold
+        compared = 0
+        for key, est_group in est_policy.groups.items():
+            exact_group = exact_policy.groups.get(key)
+            if exact_group is None or est_group.drop_rate_ewma <= 1e-6:
+                continue
+            conformant = all(
+                est_policy.conformance.value(p) >= threshold
+                for p in est_group.members
+            )
+            if not conformant:
+                continue  # attack aggregates keep exact accounting
+            ratio = est_group.bucket.n_flows / max(
+                1.0, exact_group.bucket.n_flows
+            )
+            # order-of-magnitude agreement is what the estimator promises
+            assert 0.2 < ratio < 5.0, key
+            compared += 1
+        assert compared >= 1
+
+    def test_estimation_flag_off_by_default(self):
+        assert not FLocConfig().estimate_flow_counts

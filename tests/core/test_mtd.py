@@ -1,0 +1,101 @@
+"""MTD measurement, classification rules, Eq. (IV.5) service probability."""
+
+import pytest
+
+from repro.core.mtd import (
+    INFINITE_MTD,
+    FlowDropTracker,
+    MtdClassifier,
+    aggregate_mtd,
+)
+
+
+class TestTracker:
+    def test_no_drops_infinite_mtd(self):
+        tracker = FlowDropTracker()
+        assert tracker.mtd("f", tick=100, window=50) == INFINITE_MTD
+
+    def test_mtd_is_window_over_drops(self):
+        tracker = FlowDropTracker()
+        for t in (10, 20, 30, 40):
+            tracker.record_drop("f", t)
+        assert tracker.mtd("f", tick=40, window=40) == pytest.approx(10.0)
+
+    def test_window_excludes_old_drops(self):
+        tracker = FlowDropTracker()
+        tracker.record_drop("f", 1)
+        tracker.record_drop("f", 95)
+        assert tracker.drops_in_window("f", tick=100, window=10) == 1
+
+    def test_horizon_trims_records(self):
+        tracker = FlowDropTracker(horizon=50)
+        tracker.record_drop("f", 0)
+        assert tracker.drops_in_window("f", tick=100, window=1000) == 0
+
+    def test_keys_independent(self):
+        tracker = FlowDropTracker()
+        tracker.record_drop("a", 10)
+        assert tracker.drops_in_window("b", tick=20, window=100) == 0
+
+    def test_forget_stale_releases_memory(self):
+        tracker = FlowDropTracker(horizon=50)
+        tracker.record_drop("f", 0)
+        tracker.record_drop("g", 100)
+        tracker.forget_stale(tick=100)
+        assert tracker.tracked_units() == 1
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            FlowDropTracker(horizon=0)
+
+    def test_aggregate_mtd_sums_keys(self):
+        tracker = FlowDropTracker()
+        tracker.record_drop("a", 10)
+        tracker.record_drop("b", 20)
+        mtd, drops = aggregate_mtd(tracker, ["a", "b"], tick=20, window=20)
+        assert drops == 2
+        assert mtd == pytest.approx(10.0)
+
+
+class TestClassifier:
+    @pytest.fixture
+    def classifier(self):
+        return MtdClassifier(attack_mtd_fraction=0.5, block_mtd_fraction=1 / 64)
+
+    def test_service_probability_eq_iv5(self, classifier):
+        # min(1, MTD/ref): proportional penalty below the reference
+        assert classifier.service_probability(5.0, 20.0) == pytest.approx(0.25)
+        assert classifier.service_probability(40.0, 20.0) == 1.0
+        assert classifier.service_probability(INFINITE_MTD, 20.0) == 1.0
+
+    def test_attack_flow_threshold(self, classifier):
+        assert classifier.is_attack_flow(9.0, 20.0)  # < 0.5 * ref
+        assert not classifier.is_attack_flow(11.0, 20.0)
+        assert not classifier.is_attack_flow(INFINITE_MTD, 20.0)
+
+    def test_blocking_threshold(self, classifier):
+        assert classifier.should_block(0.1, 20.0)
+        assert not classifier.should_block(1.0, 20.0)
+
+    def test_attack_path_requires_both_conditions(self, classifier):
+        # MTD below the period AND request rate above allocation + 1/T
+        assert classifier.is_attack_path(
+            aggregate_mtd=2.0, token_period=5.0, request_rate=30.0, bandwidth=10.0
+        )
+        # low MTD but modest rate: not an attack path
+        assert not classifier.is_attack_path(
+            aggregate_mtd=2.0, token_period=5.0, request_rate=10.0, bandwidth=10.0
+        )
+        # high rate but healthy MTD: not an attack path
+        assert not classifier.is_attack_path(
+            aggregate_mtd=9.0, token_period=5.0, request_rate=30.0, bandwidth=10.0
+        )
+
+    def test_misidentified_flow_recovers(self, classifier):
+        # as a source backs off, MTD grows and service probability -> 1
+        probs = [
+            classifier.service_probability(mtd, 20.0)
+            for mtd in (2.0, 5.0, 10.0, 20.0, 40.0)
+        ]
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0

@@ -1,0 +1,76 @@
+"""Path identifiers and the traffic tree."""
+
+import pytest
+
+from repro.core.pathid import PathTree, common_suffix, origin_as
+from repro.errors import ConfigError
+
+
+class TestHelpers:
+    def test_origin_as_is_first_element(self):
+        assert origin_as((7, 3, 1)) == 7
+
+    def test_origin_as_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            origin_as(())
+
+    def test_common_suffix_shared_tail(self):
+        assert common_suffix((1, 5, 9), (2, 5, 9)) == (5, 9)
+
+    def test_common_suffix_disjoint(self):
+        assert common_suffix((1, 2), (3, 4)) == ()
+
+    def test_common_suffix_identical(self):
+        assert common_suffix((1, 2, 3), (1, 2, 3)) == (1, 2, 3)
+
+    def test_common_suffix_different_lengths(self):
+        assert common_suffix((9,), (4, 9)) == (9,)
+
+
+class TestPathTree:
+    @pytest.fixture
+    def tree(self):
+        # three origins behind AS 5, one behind AS 6; all behind AS 9
+        return PathTree([(1, 5, 9), (2, 5, 9), (3, 5, 9), (4, 6, 9)])
+
+    def test_leaves_under_root_suffix(self, tree):
+        assert sorted(tree.leaves_under((9,))) == [
+            (1, 5, 9),
+            (2, 5, 9),
+            (3, 5, 9),
+            (4, 6, 9),
+        ]
+
+    def test_leaves_under_interior(self, tree):
+        assert sorted(tree.leaves_under((5, 9))) == [
+            (1, 5, 9),
+            (2, 5, 9),
+            (3, 5, 9),
+        ]
+
+    def test_leaf_node_holds_pid(self, tree):
+        node = tree.node((1, 5, 9))
+        assert node is not None
+        assert node.leaf_pids == [(1, 5, 9)]
+
+    def test_depth_counts_as_hops(self, tree):
+        assert tree.node((9,)).depth == 1
+        assert tree.node((5, 9)).depth == 2
+        assert tree.node((1, 5, 9)).depth == 3
+
+    def test_internal_nodes(self, tree):
+        suffixes = {n.suffix for n in tree.internal_nodes()}
+        assert (9,) in suffixes
+        assert (5, 9) in suffixes
+        assert (1, 5, 9) not in suffixes
+
+    def test_missing_suffix_gives_empty(self, tree):
+        assert tree.leaves_under((99,)) == []
+
+    def test_duplicate_insert_keeps_both_records(self):
+        tree = PathTree([(1, 9), (1, 9)])
+        assert tree.leaves_under((9,)) == [(1, 9), (1, 9)]
+
+    def test_empty_pid_rejected(self):
+        with pytest.raises(ConfigError):
+            PathTree([()])

@@ -1,0 +1,75 @@
+"""Queue-mode behaviour of the FLoc router observed end to end."""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.queue_manager import QueueMode
+from repro.core.router import FLocPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def build(capacity=5.0, buffer=100, n_tcp=3, cbr_rate=None, seed=13):
+    topo = Topology()
+    for i in range(n_tcp):
+        topo.add_duplex_link(f"h{i}", "r0", capacity=None)
+    if cbr_rate:
+        topo.add_duplex_link("bot", "r0", capacity=None)
+    topo.add_duplex_link("r0", "srv", capacity=capacity, buffer=buffer)
+    policy = FLocPolicy(FLocConfig())
+    topo.set_policy("r0", "srv", policy)
+    engine = Engine(topo, seed=seed)
+    for i in range(n_tcp):
+        flow = engine.open_flow(f"h{i}", "srv", path_id=(1, 9))
+        engine.add_source(TcpSource(flow, start_tick=2 * i))
+    if cbr_rate:
+        flow = engine.open_flow("bot", "srv", path_id=(2, 9), is_attack=True)
+        engine.add_source(CbrSource(flow, rate=cbr_rate))
+    return engine, policy
+
+
+class TestModes:
+    def test_uncongested_mode_no_token_drops(self):
+        """A lightly loaded link never charges tokens."""
+        engine, policy = build(capacity=50.0, n_tcp=2)
+        engine.run(1500)
+        assert policy.drop_stats["token"] == 0
+        assert policy.drop_stats["random"] == 0
+        assert policy.drop_stats["preferential"] == 0
+
+    def test_congestion_produces_mode_transitions(self):
+        engine, policy = build(capacity=3.0, n_tcp=6, cbr_rate=6.0)
+        modes_seen = set()
+
+        def sample(eng, tick):
+            q = len(eng.topology.link("r0", "srv").queue)
+            modes_seen.add(policy.qm.mode(q))
+
+        engine.add_tick_hook(sample)
+        engine.run(2500)
+        assert QueueMode.UNCONGESTED in modes_seen
+        assert QueueMode.CONGESTED in modes_seen or (
+            QueueMode.FLOODING in modes_seen
+        )
+
+    def test_q_max_tracks_flow_population(self):
+        engine, policy = build(capacity=5.0, n_tcp=6)
+        engine.run(600)
+        q_max_small = policy.qm.q_max
+        assert policy.qm.q_min < q_max_small <= 100
+
+    def test_drop_cause_accounting_complete(self):
+        engine, policy = build(capacity=3.0, n_tcp=6, cbr_rate=8.0)
+        monitor = engine.add_monitor("r0", "srv")
+        engine.run(2500)
+        policy_drops = sum(policy.drop_stats.values())
+        assert policy_drops == monitor.total_dropped
+
+    def test_bucket_period_at_least_one_tick(self):
+        engine, policy = build(capacity=0.5, n_tcp=4)
+        engine.run(800)
+        for group in policy.groups.values():
+            assert group.bucket.period >= 1
+            assert group.bucket.size >= 1.0

@@ -1,0 +1,70 @@
+"""The fully scalable router configuration (Section V):
+
+Bloom drop filter + probabilistic updates + drop-rate flow estimation —
+the configuration the paper argues can run on OC-192 backbone routers.
+"""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.traffic.scenarios import build_tree_scenario
+
+
+def scalable_config():
+    return FLocConfig(
+        use_drop_filter=True,
+        estimate_flow_counts=True,
+        s_max=25,
+    )
+
+
+@pytest.fixture(scope="module")
+def scalable_run():
+    scenario = build_tree_scenario(
+        scale_factor=0.08,
+        attack_kind="cbr",
+        attack_rate_mbps=2.0,
+        seed=31,
+        start_spread_seconds=0.5,
+    )
+    scenario.attach_policy(FLocPolicy(scalable_config()))
+    monitor = scenario.add_target_monitor(start_seconds=4.0)
+    scenario.run_seconds(12.0)
+    policy = scenario.topology.link(*scenario.target).policy
+    return scenario, policy, monitor
+
+
+class TestScalableMode:
+    def test_defense_holds(self, scalable_run):
+        scenario, policy, monitor = scalable_run
+        window = scenario.units.seconds_to_ticks(8.0)
+        legit = sum(
+            monitor.service_counts.get(f.flow_id, 0)
+            for f in scenario.legit_flows
+        )
+        assert legit / (scenario.capacity * window) > 0.55
+
+    def test_no_exact_per_flow_state(self, scalable_run):
+        _, policy, _ = scalable_run
+        assert policy.tracker is None
+        assert policy.drop_filter is not None
+
+    def test_memory_writes_sublinear_in_drops(self, scalable_run):
+        _, policy, _ = scalable_run
+        filt = policy.drop_filter
+        assert filt.drops_seen > 0
+        # probabilistic updates: writes stay well under drops x arrays
+        assert filt.memory_updates < filt.drops_seen * filt.m
+
+    def test_aggregation_still_respects_budget(self, scalable_run):
+        _, policy, _ = scalable_run
+        assert policy.plan.n_groups <= 25
+
+    def test_array_selection_degree_valid(self, scalable_run):
+        _, policy, _ = scalable_run
+        assert 1 <= policy._filter_k_arrays <= policy.drop_filter.m
+
+    def test_preferential_drops_engaged(self, scalable_run):
+        _, policy, _ = scalable_run
+        assert policy.drop_stats["preferential"] > 0

@@ -1,0 +1,87 @@
+"""CBL-like bot placement and population-proportional host placement."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.inet.botlist import (
+    heavy_tailed_populations,
+    place_bots,
+    place_legitimate,
+)
+
+
+class TestBotPlacement:
+    def test_total_bots_conserved(self):
+        placement = place_bots(range(1, 500), 10_000, 50, random.Random(1))
+        assert placement.total_bots == 10_000
+
+    def test_requested_as_count(self):
+        placement = place_bots(range(1, 500), 10_000, 50, random.Random(1))
+        assert len(placement.attack_ases) == 50
+
+    def test_cbl_like_concentration(self):
+        # most bots sit in a small core of contaminated ASes
+        placement = place_bots(range(1, 2000), 100_000, 300, random.Random(2))
+        assert placement.concentration(top_fraction=0.10) > 0.90
+
+    def test_every_attack_as_contaminated_key_exists(self):
+        placement = place_bots(range(1, 100), 1000, 10, random.Random(3))
+        assert set(placement.bots_per_as) == set(placement.attack_ases)
+
+    def test_too_many_attack_ases_rejected(self):
+        with pytest.raises(ConfigError):
+            place_bots(range(1, 10), 100, 50, random.Random(1))
+
+    def test_zero_attack_ases_rejected(self):
+        with pytest.raises(ConfigError):
+            place_bots(range(1, 10), 100, 0, random.Random(1))
+
+    def test_single_attack_as_gets_everything(self):
+        placement = place_bots(range(1, 100), 500, 1, random.Random(4))
+        assert placement.total_bots == 500
+        assert len(placement.bots_per_as) == 1
+
+
+class TestLegitimatePlacement:
+    def test_total_sources_conserved(self):
+        per_as = place_legitimate(range(1, 500), 5_000, 100, random.Random(5))
+        assert sum(per_as.values()) == 5_000
+
+    def test_overlap_places_sources_in_attack_ases(self):
+        attack = list(range(400, 450))
+        per_as = place_legitimate(
+            range(1, 500), 1_000, 100, random.Random(6),
+            attack_ases=attack, overlap_fraction=0.30,
+        )
+        in_attack = sum(per_as.get(a, 0) for a in attack)
+        # at least the intentional 30 % lands there; population-
+        # proportional sampling may add accidental residents on top
+        assert in_attack >= 280
+        assert in_attack <= 600
+
+    def test_no_overlap_without_attack_ases(self):
+        per_as = place_legitimate(
+            range(1, 500), 1_000, 100, random.Random(7),
+            attack_ases=[], overlap_fraction=0.30,
+        )
+        assert sum(per_as.values()) == 1_000
+
+    def test_heavy_tailed_distribution(self):
+        per_as = place_legitimate(range(1, 500), 10_000, 100, random.Random(8))
+        counts = sorted(per_as.values(), reverse=True)
+        # heavy tail: the top AS dominates the median AS
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_too_many_legit_ases_rejected(self):
+        with pytest.raises(ConfigError):
+            place_legitimate(range(1, 10), 100, 50, random.Random(1))
+
+
+class TestPopulations:
+    def test_zipf_weights_positive_and_normalizable(self):
+        pops = heavy_tailed_populations(100, random.Random(9))
+        assert len(pops) == 100
+        assert all(p > 0 for p in pops)
+        assert max(pops) / min(pops) > 50  # heavy tail

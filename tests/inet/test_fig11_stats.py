@@ -1,0 +1,44 @@
+"""Topology-statistics experiment (FIG-11/12) details."""
+
+import pytest
+
+from repro.experiments.fig11 import run_fig11, topology_stats
+from repro.inet.scenarios import build_internet_scenario
+
+SMALL = dict(n_as=250, n_legit_sources=400, n_bots=4_000, n_legit_ases=50)
+
+
+class TestTopologyStats:
+    def test_red_links_cover_attack_paths(self):
+        scenario = build_internet_scenario(seed=9, **SMALL)
+        stats = topology_stats(scenario)
+        # every attack AS contributes at least its own uplink
+        assert stats.red_links >= stats.n_attack_ases
+
+    def test_attack_depth_within_tree_bounds(self):
+        scenario = build_internet_scenario(seed=9, **SMALL)
+        stats = topology_stats(scenario)
+        max_depth = max(scenario.topology.depth)
+        assert 0 < stats.mean_attack_depth <= max_depth
+        assert 0 < stats.mean_legit_depth <= max_depth
+
+    def test_variants_give_different_structures(self):
+        per_variant = run_fig11("localized", variants=("f-root", "jpn"),
+                                **SMALL)
+        a, b = per_variant
+        assert a.depth_histogram != b.depth_histogram
+
+    def test_dispersed_spreads_attack_ases(self):
+        loc = run_fig11("localized", variants=("f-root",), **SMALL)[0]
+        dis = run_fig11("dispersed", variants=("f-root",), **SMALL)[0]
+        assert dis.n_attack_ases > loc.n_attack_ases
+        # spreading the same bot population thins the per-AS counts,
+        # which the concentration statistic reflects
+        assert dis.n_bots == loc.n_bots
+
+    def test_separated_has_zero_overlap_fraction(self):
+        scenario = build_internet_scenario(
+            placement="separated", seed=9, **SMALL
+        )
+        stats = topology_stats(scenario)
+        assert stats.legit_in_attack_as_fraction == 0.0

@@ -1,0 +1,78 @@
+"""Covert-attack defense end to end (paper Section VI-D, scaled)."""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.experiments.common import FunctionalSettings, run_breakdown
+from repro.traffic.scenarios import build_tree_scenario
+
+SETTINGS = FunctionalSettings(scale=0.08, warmup_seconds=3.0,
+                              measure_seconds=7.0, seed=4)
+
+
+def covert_scenario(fanout):
+    return build_tree_scenario(
+        scale_factor=SETTINGS.scale,
+        attack_kind="covert",
+        attack_rate_mbps=0.6,  # per-flow: individually unremarkable
+        covert_fanout=fanout,
+        n_servers=max(1, fanout),
+        seed=4,
+        start_spread_seconds=1.0,
+    )
+
+
+class TestCovertDefense:
+    def test_floc_caps_covert_source_bandwidth(self):
+        """With n_max=2 a bot's flows collapse into two accounting units,
+        so the attacker's bandwidth is capped near (bots * n_max) fair
+        unit shares no matter how many flows it spreads across — the
+        paper's 28.8 % cap, scaled to this scenario."""
+        results = {}
+        for fanout in (2, 8):
+            results[fanout] = run_breakdown(
+                covert_scenario(fanout), "floc", SETTINGS,
+                floc_config=FLocConfig(n_max=2),
+            )
+        run8 = results[8]
+        # n_max cap: bots * n_max fair unit shares of the link
+        n_bots = 30  # 6 attack leaves * 5 bots at scale 0.08
+        n_legit = len(run8.legit_in_legit_rates) + len(
+            run8.legit_in_attack_rates
+        )
+        n_units = n_legit + n_bots * 2
+        cap = n_bots * 2 / n_units
+        for fanout, run in results.items():
+            assert run.breakdown.attack < cap + 0.05, fanout
+            assert run.breakdown.legit_total > 0.6, fanout
+
+    def test_floc_beats_redpd_under_covert_attack(self):
+        floc = run_breakdown(
+            covert_scenario(8), "floc", SETTINGS,
+            floc_config=FLocConfig(n_max=2),
+        )
+        redpd = run_breakdown(covert_scenario(8), "redpd", SETTINGS)
+        assert floc.breakdown.legit_total > redpd.breakdown.legit_total
+
+    def test_per_flow_fairness_loses_to_fanout(self):
+        """RED-PD (per-flow fairness) hands bandwidth proportional to flow
+        count: more covert flows -> more attack share."""
+        low = run_breakdown(covert_scenario(2), "redpd", SETTINGS)
+        high = run_breakdown(covert_scenario(10), "redpd", SETTINGS)
+        assert high.breakdown.attack > low.breakdown.attack
+
+    def test_account_units_bounded_by_n_max(self):
+        run = run_breakdown(
+            covert_scenario(8), "floc", SETTINGS,
+            floc_config=FLocConfig(n_max=2),
+        )
+        policy = run.extra["policy"]
+        # accounting units on attack paths: at most n_max per bot host
+        by_host = {}
+        for state in policy.paths.values():
+            for key in state.flows:
+                src = key[0]
+                if str(src).startswith("b_"):
+                    by_host.setdefault(src, set()).add(key)
+        assert by_host
+        assert all(len(units) <= 2 for units in by_host.values())

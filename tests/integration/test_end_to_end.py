@@ -1,0 +1,100 @@
+"""End-to-end scheme comparisons on the Section VI tree (scaled down).
+
+These are the load-bearing integration checks: the relative orderings the
+paper's figures report must hold on every run.
+"""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.experiments.common import FunctionalSettings, run_breakdown
+from repro.traffic.scenarios import build_tree_scenario
+
+SETTINGS = FunctionalSettings(scale=0.08, warmup_seconds=3.0,
+                              measure_seconds=7.0, seed=2)
+
+
+def cbr_scenario(rate=2.0, seed=2):
+    return build_tree_scenario(
+        scale_factor=SETTINGS.scale,
+        attack_kind="cbr",
+        attack_rate_mbps=rate,
+        seed=seed,
+        start_spread_seconds=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for scheme in ("floc", "pushback", "redpd", "droptail", "fairshare"):
+        out[scheme] = run_breakdown(cbr_scenario(), scheme, SETTINGS)
+    return out
+
+
+class TestSchemeOrdering:
+    def test_no_defense_hands_link_to_attackers(self, results):
+        # at 2.0 Mbps/bot (1.5x capacity offered) attackers take about
+        # their arrival share...
+        assert results["droptail"].breakdown.attack > 0.45
+        # ...and at 4.0 Mbps/bot (3x capacity) they dominate outright
+        heavy = run_breakdown(cbr_scenario(rate=4.0), "droptail", SETTINGS)
+        assert heavy.breakdown.attack > 0.6
+
+    def test_floc_protects_legitimate_traffic_best(self, results):
+        floc = results["floc"].breakdown.legit_total
+        for other in ("pushback", "redpd", "droptail", "fairshare"):
+            assert floc >= results[other].breakdown.legit_total - 0.02
+
+    def test_floc_legit_majority(self, results):
+        assert results["floc"].breakdown.legit_total > 0.7
+
+    def test_pushback_collateral_damage(self, results):
+        # Pushback rate-limits whole aggregates: legitimate flows inside
+        # attack paths starve relative to FLoc's
+        assert (
+            results["pushback"].breakdown.legit_in_attack
+            < 0.5 * results["floc"].breakdown.legit_in_attack
+        )
+
+    def test_all_schemes_use_the_link(self, results):
+        for scheme, result in results.items():
+            assert result.breakdown.utilization > 0.8, scheme
+
+
+class TestFLocDetails:
+    def test_attack_rate_insensitivity(self):
+        """Fig. 7's headline: FLoc's legitimate-path guarantee holds at
+        every attack strength (faster bots only *add* spare bandwidth —
+        their crushed allocations are absorbed by legitimate flows)."""
+        shares = []
+        for rate in (1.0, 4.0):
+            run = run_breakdown(cbr_scenario(rate), "floc", SETTINGS)
+            shares.append(run.breakdown.legit_in_legit)
+        for share in shares:
+            assert share > 0.6  # never below the guarantee level
+        assert shares[1] >= shares[0] - 0.05  # stronger attack never hurts
+
+    def test_aggregation_bounds_identifiers(self):
+        run = run_breakdown(
+            cbr_scenario(), "floc", SETTINGS, floc_config=FLocConfig(s_max=25)
+        )
+        assert run.extra["policy"].plan.n_groups <= 25
+
+    def test_shrew_attack_handled(self):
+        scenario = build_tree_scenario(
+            scale_factor=SETTINGS.scale, attack_kind="shrew",
+            attack_rate_mbps=2.0, seed=2, start_spread_seconds=1.0,
+        )
+        run = run_breakdown(scenario, "floc", SETTINGS)
+        assert run.breakdown.legit_total > 0.6
+
+    def test_high_population_tcp_attack_confined(self):
+        scenario = build_tree_scenario(
+            scale_factor=SETTINGS.scale, attack_kind="tcp", seed=2,
+            start_spread_seconds=1.0,
+        )
+        run = run_breakdown(scenario, "floc", SETTINGS)
+        # adaptive attackers cannot steal legitimate paths' bandwidth:
+        # 21 of 27 path allocations belong to legitimate domains
+        assert run.breakdown.legit_in_legit > 0.55

@@ -1,0 +1,84 @@
+"""Heterogeneous link delays (propagation > 1 tick per hop)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from tests.net.test_engine import OneShotSource
+
+
+def delayed_chain(delay):
+    topo = Topology()
+    topo.add_duplex_link("h", "r0", capacity=None)
+    topo.add_duplex_link("r0", "r1", capacity=None, delay=delay)
+    topo.add_duplex_link("r1", "srv", capacity=None)
+    engine = Engine(topo, seed=2)
+    flow = engine.open_flow("h", "srv", path_id=(1,))
+    return engine, flow
+
+
+class TestDelay:
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_link("a", "b", delay=0)
+
+    def test_delay_extends_rtt(self):
+        # base chain RTT: 3 + 3 = 6 ticks; delay 5 on the middle hop adds
+        # 4 ticks each way
+        engine, flow = delayed_chain(delay=5)
+        src = OneShotSource(flow)
+        engine.add_source(src)
+        engine.run(25)
+        assert src.acks == [(0, 14)]
+
+    def test_delay_one_matches_fast_path(self):
+        engine, flow = delayed_chain(delay=1)
+        src = OneShotSource(flow)
+        engine.add_source(src)
+        engine.run(12)
+        assert src.acks == [(0, 6)]
+
+    def test_per_flow_order_preserved_across_delay(self):
+        engine, flow = delayed_chain(delay=4)
+        src = OneShotSource(flow, count=5)
+        engine.add_source(src)
+        engine.run(30)
+        seqs = [seq for seq, _ in src.acks]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_tcp_measures_longer_rtt(self):
+        engine, flow = delayed_chain(delay=6)
+        src = TcpSource(flow)
+        engine.add_source(src)
+        engine.run(60)
+        assert src.established
+        assert src.srtt == pytest.approx(16.0, abs=1.0)
+
+
+class TestScenarioDelays:
+    def test_leaf_uplink_delays_change_path_rtt(self):
+        from repro.traffic.scenarios import build_tree_scenario
+
+        scenario = build_tree_scenario(
+            scale_factor=0.05,
+            attack_kind="none",
+            seed=3,
+            start_spread_seconds=0.5,
+            leaf_uplink_delays={0: 8},
+        )
+        scenario.run_seconds(4.0)
+        slow_pid = scenario.path_ids[0]
+        slow = [
+            s.srtt
+            for s in scenario.legit_sources
+            if s.flow.path_id == slow_pid and s.srtt
+        ]
+        fast = [
+            s.srtt
+            for s in scenario.legit_sources
+            if s.flow.path_id != slow_pid and s.srtt
+        ]
+        assert slow and fast
+        assert min(slow) > max(fast)

@@ -1,0 +1,87 @@
+"""Reference link policies: drop-tail and random-drop."""
+
+import pytest
+
+from repro.net.engine import Engine
+from repro.net.packet import DATA, Packet
+from repro.net.policy import DropTailPolicy, RandomDropPolicy
+from repro.net.topology import Topology
+
+
+def build(policy, buffer=5, capacity=1.0):
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=capacity, buffer=buffer)
+    topo.set_policy("a", "b", policy)
+    engine = Engine(topo, seed=3)
+    flow = engine.open_flow("a", "b", path_id=(1,))
+    return engine, topo.link("a", "b"), flow
+
+
+def packets(flow, n):
+    return [
+        Packet(flow.flow_id, DATA, seq, flow.path_id, flow.route, "a", "b", 0)
+        for seq in range(n)
+    ]
+
+
+class TestDropTail:
+    def test_admits_until_buffer_full(self):
+        policy = DropTailPolicy()
+        engine, link, flow = build(policy)
+        policy.attach(link, engine)
+        decisions = []
+        for pkt in packets(flow, 8):
+            admitted = policy.admit(pkt, 0)
+            decisions.append(admitted)
+            if admitted:
+                link.queue.append(pkt)
+        assert decisions == [True] * 5 + [False] * 3
+
+    def test_unbounded_buffer_always_admits(self):
+        policy = DropTailPolicy()
+        engine, link, flow = build(policy, buffer=None)
+        policy.attach(link, engine)
+        assert all(policy.admit(p, 0) for p in packets(flow, 1000))
+
+
+class TestRandomDrop:
+    def test_batch_keeps_all_when_room(self):
+        policy = RandomDropPolicy()
+        engine, link, flow = build(policy, buffer=100)
+        policy.attach(link, engine)
+        arrivals = packets(flow, 10)
+        assert policy.batch_admit(arrivals, 0) == arrivals
+
+    def test_batch_samples_when_overflowing(self):
+        policy = RandomDropPolicy()
+        engine, link, flow = build(policy, buffer=4)
+        policy.attach(link, engine)
+        arrivals = packets(flow, 20)
+        admitted = policy.batch_admit(arrivals, 0)
+        assert len(admitted) == 4
+        assert set(map(id, admitted)) <= set(map(id, arrivals))
+
+    def test_batch_empty_when_queue_full(self):
+        policy = RandomDropPolicy()
+        engine, link, flow = build(policy, buffer=2)
+        policy.attach(link, engine)
+        link.queue.extend(packets(flow, 2))
+        assert policy.batch_admit(packets(flow, 5), 0) == []
+
+    def test_victims_are_random_not_tail(self):
+        policy = RandomDropPolicy()
+        engine, link, flow = build(policy, buffer=10)
+        policy.attach(link, engine)
+        arrivals = packets(flow, 40)
+        admitted = policy.batch_admit(arrivals, 0)
+        seqs = sorted(p.seq for p in admitted)
+        # with random selection the survivors are (almost surely) not
+        # exactly the first ten arrivals
+        assert seqs != list(range(10))
+
+    def test_unbounded_buffer_passes_everything(self):
+        policy = RandomDropPolicy()
+        engine, link, flow = build(policy, buffer=None)
+        policy.attach(link, engine)
+        arrivals = packets(flow, 50)
+        assert policy.batch_admit(arrivals, 0) == arrivals

@@ -1,0 +1,136 @@
+"""TCP source behaviour: handshake, AIMD, loss recovery, fairness."""
+
+import pytest
+
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+
+
+def make_path(capacity=None, buffer=None, hops=2, seed=1):
+    topo = Topology()
+    nodes = ["h"] + [f"r{i}" for i in range(hops)] + ["srv"]
+    for a, b in zip(nodes, nodes[1:]):
+        topo.add_duplex_link(a, b, capacity=None)
+    if capacity is not None:
+        topo.add_link("h", "r0", capacity=capacity, buffer=buffer)
+    engine = Engine(topo, seed=seed)
+    return engine
+
+
+class TestHandshake:
+    def test_connection_establishes(self):
+        engine = make_path()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow)
+        engine.add_source(src)
+        engine.run(10)
+        assert src.established
+        assert src.srtt is not None and src.srtt >= 1
+
+    def test_rtt_estimate_matches_path_length(self):
+        engine = make_path(hops=4)  # 5 links each way -> RTT 10
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow)
+        engine.add_source(src)
+        engine.run(15)
+        assert src.srtt == pytest.approx(10.0)
+
+    def test_start_tick_respected(self):
+        engine = make_path()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow, start_tick=50)
+        engine.add_source(src)
+        engine.run(49)
+        assert not src.established
+        assert src.packets_sent == 0
+
+
+class TestTransfer:
+    def test_finite_transfer_completes(self):
+        engine = make_path()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow, total_packets=100)
+        engine.add_source(src)
+        engine.run(300)
+        assert src.finished
+        assert src.packets_sent >= 100
+
+    def test_transfer_through_bottleneck_completes(self):
+        engine = make_path(capacity=2.0, buffer=10)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow, total_packets=200)
+        engine.add_source(src)
+        engine.run(2000)
+        assert src.finished
+
+    def test_persistent_flow_never_finishes(self):
+        engine = make_path(capacity=2.0, buffer=10)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow)
+        engine.add_source(src)
+        engine.run(500)
+        assert not src.finished
+        assert src.packets_sent > 100
+
+    def test_slow_start_growth(self):
+        engine = make_path()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow, initial_cwnd=2.0)
+        engine.add_source(src)
+        engine.run(60)
+        # unbounded path: no drops, so cwnd grows fast in slow start
+        assert src.cwnd > 16
+        assert src.loss_events == 0
+
+
+class TestCongestionResponse:
+    def test_drops_trigger_multiplicative_decrease(self):
+        engine = make_path(capacity=1.0, buffer=5)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow)
+        engine.add_source(src)
+        engine.run(600)
+        assert src.loss_events > 0
+        # the source must have settled near the path's capacity: cwnd is
+        # bounded (no unbounded growth against a congested link)
+        assert src.cwnd < 40
+
+    def test_throughput_matches_capacity(self):
+        engine = make_path(capacity=2.0, buffer=20)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow)
+        engine.add_source(src)
+        monitor = engine.add_monitor("h", "r0")
+        engine.run(1000)
+        rate = monitor.total_serviced / 1000.0
+        assert rate == pytest.approx(2.0, rel=0.15)
+
+    def test_retransmissions_recover_losses(self):
+        engine = make_path(capacity=1.0, buffer=3)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        src = TcpSource(flow, total_packets=150)
+        engine.add_source(src)
+        engine.run(4000)
+        assert src.finished  # despite drops, everything is delivered
+        assert src.retransmissions + src.timeouts > 0
+
+    def test_two_flows_share_bottleneck_fairly(self):
+        topo = Topology()
+        topo.add_duplex_link("h0", "r0", capacity=None)
+        topo.add_duplex_link("h1", "r0", capacity=None)
+        topo.add_duplex_link("r0", "r1", capacity=4.0, buffer=40)
+        topo.add_duplex_link("r1", "srv", capacity=None)
+        engine = Engine(topo, seed=5)
+        flows = [
+            engine.open_flow("h0", "srv", path_id=(1,)),
+            engine.open_flow("h1", "srv", path_id=(1,)),
+        ]
+        sources = [TcpSource(f, start_tick=i * 7) for i, f in enumerate(flows)]
+        for s in sources:
+            engine.add_source(s)
+        monitor = engine.add_monitor("r0", "r1")
+        engine.run(3000)
+        counts = [monitor.service_counts.get(f.flow_id, 0) for f in flows]
+        assert min(counts) / max(counts) > 0.4  # rough long-run fairness
+        assert sum(counts) == pytest.approx(4.0 * 3000, rel=0.1)

@@ -1,0 +1,40 @@
+"""Substrate-vs-model validation experiments."""
+
+import pytest
+
+from repro.tcp.validation import run_validation_point, run_validation_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_validation_sweep(flow_counts=(4, 16), seed=1)
+
+
+class TestValidation:
+    def test_full_utilization_everywhere(self, sweep):
+        for point in sweep:
+            assert point.utilization > 0.9, point.n_flows
+
+    def test_drop_rates_same_order_as_model(self, sweep):
+        # the packet substrate drops somewhat more than the ideal model
+        # (drop-tail bursts cause multi-drop epochs), but within a small
+        # constant factor that shrinks as flows multiplex
+        for point in sweep:
+            assert 0.3 < point.drop_rate_ratio < 8.0, point.n_flows
+        ratios = [p.drop_rate_ratio for p in sweep]
+        assert ratios[-1] <= ratios[0]  # more flows -> closer to model
+
+    def test_flow_count_estimator_order_of_magnitude(self, sweep):
+        for point in sweep:
+            assert 0.4 < point.flow_count_ratio < 3.0, point.n_flows
+
+    def test_estimator_improves_with_multiplexing(self, sweep):
+        errors = [abs(p.flow_count_ratio - 1.0) for p in sweep]
+        assert errors[-1] <= errors[0] + 0.05
+
+    def test_point_fields_consistent(self):
+        point = run_validation_point(6, measure_ticks=800, warmup_ticks=400)
+        assert point.n_flows == 6
+        assert point.measured_rate > 0
+        assert point.measured_drop_rate >= 0
+        assert point.rtt_ticks == 8.0

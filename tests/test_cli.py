@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in FIGURES:
+            assert fig in out
+
+    def test_run_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_common_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "fig08", "--scale", "0.05", "--seconds", "3",
+             "--warmup", "1", "--seed", "7"]
+        )
+        assert args.scale == 0.05
+        assert args.seconds == 3.0
+        assert args.seed == 7
+
+
+class TestExecution:
+    def test_run_fig03(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "1500" in out and "40" in out
+
+    def test_run_fig04(self, capsys):
+        assert main(["run", "fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "synchronized" in out
+
+    def test_run_fig02_small(self, capsys):
+        assert main(
+            ["run", "fig02", "--scale", "0.05", "--seconds", "2",
+             "--warmup", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service/drop ratio" in out
+
+    def test_run_fig11(self, capsys):
+        assert main(["run", "fig11", "--variants", "f-root"]) == 0
+        out = capsys.readouterr().out
+        assert "localized" in out and "dispersed" in out
+
+    def test_quickstart_small(self, capsys):
+        assert main(
+            ["quickstart", "--scale", "0.05", "--seconds", "2",
+             "--warmup", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attack" in out

@@ -1,0 +1,59 @@
+"""Synthetic packet-size trace generator (FIG-3 substitute)."""
+
+import random
+
+import pytest
+
+from repro.traffic.trace import DEFAULT_MODES, PacketSizeDistribution, SizeMode
+
+
+class TestSampling:
+    def test_bimodal_shape(self):
+        dist = PacketSizeDistribution()
+        sizes = dist.sample(20_000, random.Random(1))
+        fractions = dist.mode_fractions(sizes)
+        # control packets and full-size data dominate
+        assert fractions[40] > 0.30
+        assert fractions[1500] > 0.35
+        # the VPN mode is present but secondary
+        assert 0.02 < fractions[1300] < 0.25
+
+    def test_sizes_never_below_40(self):
+        dist = PacketSizeDistribution()
+        sizes = dist.sample(5_000, random.Random(2))
+        assert min(sizes) >= 40
+
+    def test_deterministic_given_seed(self):
+        dist = PacketSizeDistribution()
+        a = dist.sample(100, random.Random(3))
+        b = dist.sample(100, random.Random(3))
+        assert a == b
+
+    def test_custom_modes(self):
+        dist = PacketSizeDistribution(modes=[SizeMode(size=100, weight=1.0)])
+        assert dist.sample(10, random.Random(4)) == [100] * 10
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PacketSizeDistribution(modes=[SizeMode(size=100, weight=0.0)])
+
+
+class TestCdf:
+    def test_cdf_monotone_and_ends_at_one(self):
+        dist = PacketSizeDistribution()
+        sizes = dist.sample(1_000, random.Random(5))
+        cdf = dist.cdf(sizes)
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_cdf_deduplicates_sizes(self):
+        dist = PacketSizeDistribution()
+        cdf = dist.cdf([40, 40, 1500])
+        assert cdf == [(40, pytest.approx(2 / 3)), (1500, pytest.approx(1.0))]
+
+    def test_default_modes_cover_paper_figure(self):
+        sizes = {mode.size for mode in DEFAULT_MODES}
+        assert {40, 1300, 1500} <= sizes
