@@ -18,6 +18,9 @@ its evaluation depends on:
   (:mod:`repro.baselines`),
 * Internet-scale topology synthesis and a vectorised fluid simulator
   (:mod:`repro.inet`),
+* deterministic fault injection — link flaps with rerouting, router
+  restarts, state corruption, clock jitter — for robustness studies on
+  either simulator (:mod:`repro.faults`),
 * measurement/reporting helpers (:mod:`repro.analysis`) and one runner
   per paper figure (:mod:`repro.experiments`).
 
@@ -59,6 +62,15 @@ from .traffic import (
 from .core import FLocConfig, FLocPolicy
 from .baselines import FairSharePolicy, PushbackPolicy, RedPdPolicy, RedPolicy
 from .inet import FluidSimulator, build_internet_scenario
+from .faults import (
+    FaultSchedule,
+    FluidLinkDegrade,
+    LinkFlap,
+    clock_jitter,
+    fluid_restart,
+    router_restart,
+    state_corruption,
+)
 
 __version__ = "1.0.0"
 
@@ -91,5 +103,12 @@ __all__ = [
     "FairSharePolicy",
     "FluidSimulator",
     "build_internet_scenario",
+    "FaultSchedule",
+    "LinkFlap",
+    "FluidLinkDegrade",
+    "router_restart",
+    "state_corruption",
+    "clock_jitter",
+    "fluid_restart",
     "__version__",
 ]

@@ -36,6 +36,7 @@ FIGURES = {
     "fig13": "internet-scale bandwidth shares, localized attacks",
     "fig14": "internet-scale bandwidth shares, dispersed attacks",
     "fig15": "internet-scale bandwidth shares, separated placement",
+    "faults": "graceful degradation under router restart + link faults",
 }
 
 
@@ -178,6 +179,15 @@ def _run_figure(args) -> int:
             args, fig,
             ["variant", "strategy", "legit-legit", "legit-attack", "attack",
              "util"],
+            result.rows(), FIGURES[fig],
+        )
+    elif fig == "faults":
+        from .experiments.robustness_faults import run_robustness_faults
+
+        result = run_robustness_faults(_settings(args))
+        _emit(
+            args, fig,
+            ["simulator", "scheme", "pre", "during", "post", "recovery"],
             result.rows(), FIGURES[fig],
         )
     else:

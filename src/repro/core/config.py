@@ -96,6 +96,16 @@ class FLocConfig:
     estimate_flow_counts: bool = False
     capability_checks: bool = True
     min_guaranteed_share: Optional[float] = None
+    #: Warm-up duration after a router restart (see
+    #: :meth:`~repro.core.router.FLocPolicy.restart`): until the
+    #: ``lambda_Si``/RTT estimates re-converge the policy falls back to
+    #: neutral congested-mode admission instead of trusting cold token
+    #: buckets, so legitimate flows are not penalised by state loss.
+    restart_warmup_ticks: int = 150
+    #: Upper bound on tracked per-path states; under memory pressure the
+    #: least-recently-active path is evicted (its state regenerates from
+    #: live traffic, like after a partial restart).  ``None`` = unbounded.
+    max_tracked_paths: Optional[int] = None
     #: Per-domain bandwidth weights (origin AS -> weight).  The paper's
     #: footnote 1: "for different domains having different numbers of
     #: sources, proportional rather than equal bandwidth allocation can be
@@ -133,6 +143,15 @@ class FLocConfig:
                         f"domain weight for AS {asn} must be positive, "
                         f"got {weight}"
                     )
+        if self.restart_warmup_ticks < 0:
+            raise ConfigError(
+                f"restart_warmup_ticks must be >= 0, got "
+                f"{self.restart_warmup_ticks}"
+            )
+        if self.max_tracked_paths is not None and self.max_tracked_paths < 1:
+            raise ConfigError(
+                f"max_tracked_paths must be >= 1, got {self.max_tracked_paths}"
+            )
         if not 0.0 < self.attack_mtd_fraction <= 1.0:
             raise ConfigError(
                 f"attack_mtd_fraction must be in (0, 1], got "

@@ -72,6 +72,10 @@ class FlowDropTracker:
             return INFINITE_MTD
         return min(window, self.horizon) / drops
 
+    def forget(self, key: Hashable) -> None:
+        """Discard the drop record of one unit (fault-injected state loss)."""
+        self._drops.pop(key, None)
+
     def forget_stale(self, tick: int) -> None:
         """Release memory of units with no drops inside the horizon."""
         oldest = tick - self.horizon

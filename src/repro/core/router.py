@@ -26,8 +26,11 @@ and implements the full paper pipeline:
 
 from __future__ import annotations
 
+import copy
+import random
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..errors import SimulationError
 from ..net.packet import DATA, SYN, Packet
 from ..net.policy import LinkPolicy
 from ..tcp import model
@@ -131,6 +134,11 @@ class FLocPolicy(LinkPolicy):
             "overflow": 0,
         }
         self._pending_drop_cause: Optional[str] = None
+        # fault-tolerance state: warm-up window after a restart (ticks are
+        # absolute engine ticks; None = normal operation) and the clock
+        # offset installed by a jitter fault
+        self._warmup_until: Optional[int] = None
+        self._clock_offset = 0
 
     # ------------------------------------------------------------------
     # engine lifecycle
@@ -157,11 +165,17 @@ class FLocPolicy(LinkPolicy):
         self._initial_rtt = max(4.0, engine.scale.seconds_to_ticks(0.1))
 
     def on_tick(self, tick: int) -> None:
+        if self._warmup_until is not None and tick >= self._warmup_until:
+            self._warmup_until = None
         for group in self.groups.values():
             group.bucket.on_tick(tick)
-        if tick and tick % self.cfg.measure_interval == 0:
+        # measurement phase may be shifted by an injected clock jitter; the
+        # periodic machinery keeps running (state refreshes re-converge the
+        # estimates that warm-up mode is waiting on)
+        phase = tick + self._clock_offset
+        if phase and phase % self.cfg.measure_interval == 0:
             self._refresh(tick)
-        if tick and tick % self.cfg.aggregation_interval == 0:
+        if phase and phase % self.cfg.aggregation_interval == 0:
             self._aggregate(tick)
 
     # ------------------------------------------------------------------
@@ -210,6 +224,20 @@ class FLocPolicy(LinkPolicy):
                 self._pending_drop_cause = "blocked"
                 return False
             del self._blocked[key]
+
+        if self._warmup_until is not None:
+            # post-restart warm-up: the token buckets and MTD records were
+            # lost, so their decisions would be garbage.  Fall back to the
+            # neutral congested-mode admission (random queue threshold,
+            # footnote 8) — it needs no per-path history — while the state
+            # bookkeeping above re-converges lambda_Si and the RTTs.
+            q_curr = len(self.link.queue)
+            if self.qm.mode(q_curr) is QueueMode.UNCONGESTED:
+                return True
+            if self.qm.random_drop(q_curr):
+                self._pending_drop_cause = "random"
+                return False
+            return True
 
         group = self._group_state(pid, tick)
         q_curr = len(self.link.queue)
@@ -508,9 +536,23 @@ class FLocPolicy(LinkPolicy):
     def _path_state(self, pid: PathId) -> _PathState:
         state = self.paths.get(pid)
         if state is None:
+            limit = self.cfg.max_tracked_paths
+            if limit is not None and len(self.paths) >= limit:
+                self._evict_path()
             state = _PathState(pid, self._initial_rtt)
             self.paths[pid] = state
         return state
+
+    def _evict_path(self) -> None:
+        """Memory pressure: drop the least-recently-active path's state.
+
+        The evicted path is not punished — if its traffic continues, its
+        state regenerates from scratch exactly as after a partial restart
+        (flows re-register, RTT re-estimates from the next SYN).
+        """
+        victim = min(self.paths, key=lambda p: self.paths[p].last_arrival)
+        del self.paths[victim]
+        self.conformance.forget(victim)
 
     def _group_state(self, pid: PathId, tick: int) -> _GroupState:
         key = self.plan.group(pid)
@@ -561,6 +603,130 @@ class FLocPolicy(LinkPolicy):
                 return INFINITE_MTD
             return ref / (1.0 + excess)
         return self.tracker.mtd(key, tick, window)
+
+    # ------------------------------------------------------------------
+    # fault tolerance: checkpointing, restart, partial state loss
+    # ------------------------------------------------------------------
+    #: Every mutable attribute that admission decisions depend on.  RNG
+    #: objects are included deliberately: a restored policy must replay the
+    #: same preferential/random-threshold draws as an uninterrupted one.
+    _SNAPSHOT_ATTRS = (
+        "paths",
+        "groups",
+        "plan",
+        "_blocked",
+        "drop_stats",
+        "_pending_drop_cause",
+        "_warmup_until",
+        "_clock_offset",
+        "_initial_rtt",
+        "conformance",
+        "tracker",
+        "drop_filter",
+        "_filter_k_arrays",
+        "qm",
+        "_rng",
+    )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpoint the policy's full mutable state.
+
+        The snapshot is an independent deep copy: mutating the live policy
+        afterwards does not invalidate it, and it can be restored more
+        than once.  ``attach`` must have run first (the trackers and RNGs
+        are created there).
+        """
+        if not hasattr(self, "qm"):
+            raise SimulationError(
+                "snapshot before attach; the policy has no runtime state yet"
+            )
+        return copy.deepcopy(
+            {name: getattr(self, name, None) for name in self._SNAPSHOT_ATTRS}
+        )
+
+    def restore(self, snap: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot`; admission decisions after the
+        restore are identical to an uninterrupted policy's given the same
+        packet sequence and link state."""
+        if not hasattr(self, "qm"):
+            raise SimulationError(
+                "restore before attach; attach the policy to a link first"
+            )
+        for name, value in copy.deepcopy(snap).items():
+            setattr(self, name, value)
+
+    def restart(self, tick: int) -> None:
+        """Cold router restart: all volatile state is lost.
+
+        Token buckets, MTD/drop records, conformance, aggregation plan,
+        blocks — everything except the capability keys (derived from the
+        configured secret, so already-issued capabilities stay valid) is
+        wiped, and the policy enters *warm-up mode* for
+        ``cfg.restart_warmup_ticks``: neutral congested-mode admission
+        until the ``lambda_Si``/RTT estimates re-converge.  Cumulative
+        ``drop_stats`` are kept (they are experiment bookkeeping, not
+        router state).
+        """
+        if not hasattr(self, "qm"):
+            raise SimulationError(
+                "restart before attach; the policy has no runtime state yet"
+            )
+        self.paths.clear()
+        self.groups.clear()
+        self.plan = AggregationPlan()
+        self._blocked.clear()
+        self.conformance = ConformanceTracker(beta=self.cfg.beta)
+        if self.tracker is not None:
+            self.tracker = FlowDropTracker(
+                horizon=40 * self.cfg.measure_interval
+            )
+        if self.drop_filter is not None:
+            # fresh arrays; keep the live RNG so the replayed randomness
+            # stays deterministic for the whole (scenario, seed) run
+            self.drop_filter = DropRecordFilter(
+                m=self.drop_filter.m,
+                bits=self.drop_filter.bits,
+                k_bits=self.drop_filter.k_bits,
+                probabilistic_update=self.drop_filter.probabilistic_update,
+                rng=self.drop_filter._rng,
+            )
+            self._filter_k_arrays = self.drop_filter.m
+        self.qm = QueueManager(
+            self.qm.buffer_size,
+            self.cfg.q_min_fraction,
+            rng=self.qm._rng,
+        )
+        self._pending_drop_cause = None
+        self._warmup_until = tick + self.cfg.restart_warmup_ticks
+
+    def corrupt_state(self, fraction: float, rng: random.Random) -> None:
+        """Partial state loss: forget a random ``fraction`` of the per-path
+        states, blocks, drop records, and token balances — the
+        line-card-failure analogue of :meth:`restart`.  The surviving
+        state keeps operating; lost paths regenerate from live traffic."""
+        for pid in [p for p in self.paths if rng.random() < fraction]:
+            del self.paths[pid]
+            self.conformance.forget(pid)
+        for key in [k for k in self._blocked if rng.random() < fraction]:
+            del self._blocked[key]
+        if self.tracker is not None:
+            for key in [
+                k for k in list(self.tracker._drops) if rng.random() < fraction
+            ]:
+                self.tracker.forget(key)
+        for group in self.groups.values():
+            if rng.random() < fraction:
+                group.bucket.tokens = 0.0
+                group.interval_drops = 0
+
+    def jitter_clock(self, offset: int) -> None:
+        """Shift the measurement-interval phase by ``offset`` ticks."""
+        self._clock_offset = int(offset)
+
+    @property
+    def in_warmup(self) -> bool:
+        """Whether the policy is in its post-restart warm-up window."""
+        return self._warmup_until is not None
 
     # ------------------------------------------------------------------
     # introspection (experiments / tests)

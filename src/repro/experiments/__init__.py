@@ -8,7 +8,9 @@ paper's *shape* claims (who wins, by roughly what factor).
 
 Functional evaluation (Section VI): fig02, fig03, fig04, fig06, fig07,
 fig08, fig09, fig10.  Internet-scale evaluation (Section VII): fig11
-(+fig12 via parameters), fig13, fig14, fig15.
+(+fig12 via parameters), fig13, fig14, fig15.  Beyond the paper:
+``robustness_faults`` measures graceful degradation under injected
+router/link failures (see :mod:`repro.faults`).
 """
 
 from .common import FunctionalSettings, make_policy, run_breakdown

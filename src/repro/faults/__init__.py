@@ -1,0 +1,35 @@
+"""Deterministic fault injection for robustness experiments.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, a declarative,
+  seed-driven event list that installs on either simulator's tick hook.
+* :mod:`repro.faults.injectors` — the fault actions themselves: link
+  flaps with automatic rerouting, router (policy) restarts, partial state
+  corruption, measurement-clock jitter, and fluid-level uplink
+  degradation.
+
+See ``docs/architecture.md`` ("Fault injection & degradation") and the
+``robustness_faults`` experiment for how the pieces compose.
+"""
+
+from .injectors import (
+    FluidLinkDegrade,
+    LinkFlap,
+    clock_jitter,
+    fluid_restart,
+    router_restart,
+    state_corruption,
+)
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FluidLinkDegrade",
+    "LinkFlap",
+    "clock_jitter",
+    "fluid_restart",
+    "router_restart",
+    "state_corruption",
+]

@@ -27,8 +27,10 @@ Three target-link strategies reproduce the paper's comparisons:
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,7 +81,13 @@ class FluidSimulator:
         self.s_max = s_max
         self.attack_flag_factor = attack_flag_factor
         self.aggregation_interval = aggregation_interval
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+        # fault support: per-tick hooks (same interface as Engine, so a
+        # repro.faults.FaultSchedule installs on either simulator) and the
+        # post-restart warm-up window of the target defense
+        self._tick_hooks: List[Callable[["FluidSimulator", int], None]] = []
+        self._warmup_until: Optional[int] = None
 
         scn = scenario
         self.n_flows = scn.n_flows
@@ -111,6 +119,39 @@ class FluidSimulator:
         # signal)
         self._rate_ewma = np.zeros(self.n_flows, dtype=np.float64)
         self.n_groups = 0
+
+    # ------------------------------------------------------------------
+    # fault support (used by repro.faults injectors)
+    # ------------------------------------------------------------------
+    def spawn_rng(self, name: str) -> random.Random:
+        """Derive a deterministic, independent RNG from the master seed
+        (mirrors :meth:`repro.net.engine.Engine.spawn_rng`)."""
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def add_tick_hook(
+        self, hook: Callable[["FluidSimulator", int], None]
+    ) -> None:
+        """Run ``hook(sim, tick)`` at the start of every tick."""
+        self._tick_hooks.append(hook)
+
+    def restart_defense(self, now: int, warmup_ticks: int = 50) -> None:
+        """Simulate a restart of the target router's defense.
+
+        Conformance, aggregation plan, flags, and the smoothed rates (the
+        MTD analogue) are wiped; until ``now + warmup_ticks`` the target
+        admits neutrally (uniform random drop, like ``nd``), after which
+        FLoc resumes from cold estimates.  No-op effect for the stateless
+        ``nd``/``ff`` strategies beyond clearing the FLoc-only arrays.
+        """
+        self.conformance = ConformanceTracker(beta=0.2)
+        self._plan = None
+        self._group_index = None
+        self._group_shares = None
+        self._flagged[:] = False
+        self._rate_ewma[:] = 0.0
+        self.n_groups = 0
+        self._warmup_until = now + warmup_ticks
 
     # ------------------------------------------------------------------
     # per-tick pieces
@@ -209,6 +250,13 @@ class FluidSimulator:
         self.n_groups = len(shares)
 
     def _admit_floc(self, arrivals: np.ndarray, tick: int) -> np.ndarray:
+        if self._warmup_until is not None:
+            if tick >= self._warmup_until:
+                self._warmup_until = None
+            else:
+                # post-restart warm-up: no per-path state to allocate by,
+                # so degrade to neutral admission while rates re-smooth
+                return self._admit_nd(arrivals)
         cap = self.scn.target_capacity
         if self._group_index is None or (
             tick > 0 and tick % self.aggregation_interval == 0
@@ -276,6 +324,8 @@ class FluidSimulator:
         series = []
         conf_interval = max(10, self.aggregation_interval // 2)
         for tick in range(ticks):
+            for hook in self._tick_hooks:
+                hook(self, tick)
             rates = self._send_rates()
             self._rate_ewma += 0.1 * (rates - self._rate_ewma)
             surv = self._upstream_survival(rates)

@@ -119,6 +119,20 @@ class LinkMonitor:
         counts = self.drop_counts
         counts[pkt.flow_id] = counts.get(pkt.flow_id, 0) + 1
 
+    def flush(self) -> None:
+        """Finalise the in-progress series point.
+
+        ``on_service`` only appends a ``(tick, count)`` pair once a *later*
+        serviced tick arrives, so without this the last measurement tick of
+        a run would be silently lost.  The engine calls it whenever a
+        :meth:`Engine.run` segment completes; it is idempotent, and safe
+        across segmented runs because ticks are monotonic.
+        """
+        if self.record_series and self._series_tick >= 0:
+            self.series.append((self._series_tick, self._tick_serviced))
+            self._series_tick = -1
+            self._tick_serviced = 0
+
     @property
     def total_serviced(self) -> int:
         """Total packets serviced in the measurement window."""
@@ -184,7 +198,18 @@ class Engine:
         if route is None:
             route = self.topology.shortest_route(src_host, dst_host)
         else:
-            self.topology.validate_route(list(route))
+            route = list(route)
+            if len(route) < 2:
+                raise SimulationError(
+                    f"flow {src_host!r} -> {dst_host!r} needs a route of at "
+                    f"least two nodes, got {route!r}"
+                )
+            self.topology.validate_route(route)
+        if len(route) < 2:
+            raise SimulationError(
+                f"flow {src_host!r} -> {dst_host!r} has a degenerate "
+                f"single-node route; source and destination must differ"
+            )
         if reverse_route is None:
             reverse_route = self.topology.shortest_route(dst_host, src_host)
         flow_id = self._next_flow_id
@@ -203,6 +228,11 @@ class Engine:
 
     def add_source(self, source) -> None:
         """Register a traffic source; it owns one or more flows."""
+        if self._started:
+            raise SimulationError(
+                "add_source after the simulation started; register every "
+                "source before the first Engine.run call"
+            )
         self._sources.append(source)
         for flow in source.flows():
             flow.source = source
@@ -227,6 +257,9 @@ class Engine:
         """Inject ``pkt`` at the first link of its route (current tick)."""
         route = pkt.route
         link = self.topology.link(route[pkt.hop], route[pkt.hop + 1])
+        if not link.up:
+            self._dead_drop(link, pkt)
+            return
         link.arrivals.append(pkt)
         self._active[link] = None
 
@@ -241,10 +274,17 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self, ticks: int) -> None:
         """Advance the simulation by ``ticks`` ticks."""
+        if ticks < 0:
+            raise SimulationError(
+                f"cannot run a negative number of ticks, got {ticks}"
+            )
         if not self._started:
             self._start()
         for _ in range(ticks):
             self._step()
+        for link in self.topology.links():
+            for mon in link.monitors:
+                mon.flush()
 
     def run_seconds(self, seconds: float) -> None:
         """Advance the simulation by a wall-clock duration in sim time."""
@@ -301,6 +341,14 @@ class Engine:
         self.tick = tick + 1
 
     def _process_link(self, link: Link, tick: int) -> None:
+        if not link.up:
+            # packets handed to a failed link are lost in transit; the
+            # policy is not consulted (the router behind it is unreachable)
+            arrivals = link.arrivals
+            link.arrivals = []
+            for pkt in arrivals:
+                self._dead_drop(link, pkt)
+            return
         policy = link.policy
         arrivals = link.arrivals
         link.arrivals = []
@@ -415,6 +463,67 @@ class Engine:
             link.policy.on_drop(pkt, tick)
         for mon in link.monitors:
             mon.on_drop(pkt, tick)
+
+    def _dead_drop(self, link: Link, pkt: Packet) -> None:
+        """Loss on a failed link: counted and monitored, but not reported
+        to the admission policy (the drop is not a congestion signal)."""
+        link.dropped_total += 1
+        for mon in link.monitors:
+            mon.on_drop(pkt, self.tick)
+
+    # ------------------------------------------------------------------
+    # fault support (used by repro.faults injectors)
+    # ------------------------------------------------------------------
+    def fail_link(self, src, dst) -> Link:
+        """Take the ``src -> dst`` link down, losing its queued packets.
+
+        Packets already handed to the link (queue and pending arrivals)
+        are lost; packets arriving while the link is down are lost on
+        arrival.  Routing ignores down links, so flows rerouted afterwards
+        steer around the failure.
+        """
+        link = self.topology.link(src, dst)
+        link.up = False
+        for pkt in list(link.queue) + link.arrivals + link.arrivals_next:
+            self._dead_drop(link, pkt)
+        link.queue.clear()
+        link.arrivals.clear()
+        link.arrivals_next.clear()
+        return link
+
+    def restore_link(self, src, dst) -> Link:
+        """Bring a failed link back up, with an empty queue and no banked
+        service credit."""
+        link = self.topology.link(src, dst)
+        link.up = True
+        link.credit = 0.0
+        return link
+
+    def reroute_flow(
+        self,
+        flow: FlowInfo,
+        route: Optional[Sequence] = None,
+        reverse_route: Optional[Sequence] = None,
+    ) -> None:
+        """Re-path a flow mid-run (defaults to current shortest routes).
+
+        Packets already in flight keep the old route; only subsequent
+        emissions follow the new one.  The flow keeps its ``path_id`` — the
+        identifier was stamped at the origin and FLoc's per-path state
+        survives intra-domain rerouting (paper Section III-A).
+        """
+        if route is None:
+            route = self.topology.shortest_route(flow.src_host, flow.dst_host)
+        else:
+            self.topology.validate_route(list(route))
+        if reverse_route is None:
+            reverse_route = self.topology.shortest_route(
+                flow.dst_host, flow.src_host
+            )
+        else:
+            self.topology.validate_route(list(reverse_route))
+        flow.route = tuple(route)
+        flow.reverse_route = tuple(reverse_route)
 
     # ------------------------------------------------------------------
     # end-host behaviour

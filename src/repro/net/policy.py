@@ -61,6 +61,27 @@ class LinkPolicy:
         """
         return None
 
+    # ------------------------------------------------------------------
+    # fault-injection hooks (see repro.faults)
+    # ------------------------------------------------------------------
+    def restart(self, tick: int) -> None:
+        """Simulate a router crash/restart: wipe volatile policy state.
+
+        The base policy is stateless, so this is a no-op; stateful
+        policies (FLoc) override it and enter a warm-up mode until their
+        estimates re-converge.
+        """
+
+    def corrupt_state(self, fraction: float, rng: random.Random) -> None:
+        """Simulate partial state loss (e.g. a failed line card): forget a
+        random ``fraction`` of volatile records.  No-op for stateless
+        policies."""
+
+    def jitter_clock(self, offset: int) -> None:
+        """Shift the policy's measurement-interval phase by ``offset``
+        ticks (clock skew after an NTP step or a VM pause).  No-op for
+        policies without periodic measurement."""
+
 
 class DropTailPolicy(LinkPolicy):
     """Classic FIFO drop-tail: admit while the buffer has room."""

@@ -42,6 +42,11 @@ class Link:
     policy:
         Admission policy consulted for every arrival; ``None`` behaves like
         an unbounded-buffer drop-tail.
+    up:
+        Whether the link is operational.  Down links drop every packet
+        handed to them and are invisible to route computation; fault
+        injectors toggle this through :meth:`Engine.fail_link` /
+        :meth:`Engine.restore_link` so queued packets are accounted for.
     """
 
     __slots__ = (
@@ -51,6 +56,7 @@ class Link:
         "buffer",
         "delay",
         "policy",
+        "up",
         "queue",
         "arrivals",
         "arrivals_next",
@@ -70,12 +76,23 @@ class Link:
     ) -> None:
         if delay < 1:
             raise TopologyError(f"link delay must be >= 1 tick, got {delay}")
+        if capacity is not None and capacity <= 0:
+            raise TopologyError(
+                f"link capacity must be positive (or None for unbounded), "
+                f"got {capacity} for {src!r} -> {dst!r}"
+            )
+        if buffer is not None and buffer < 1:
+            raise TopologyError(
+                f"link buffer must be >= 1 packet (or None for unbounded), "
+                f"got {buffer} for {src!r} -> {dst!r}"
+            )
         self.src = src
         self.dst = dst
         self.capacity = capacity
         self.buffer = buffer
         self.delay = delay
         self.policy = None
+        self.up = True
         self.queue: deque = deque()
         self.arrivals: List = []
         self.arrivals_next: List = []
@@ -190,7 +207,11 @@ class Topology:
     # routing
     # ------------------------------------------------------------------
     def shortest_route(self, src: NodeId, dst: NodeId) -> List[NodeId]:
-        """Breadth-first shortest node route from ``src`` to ``dst``."""
+        """Breadth-first shortest node route from ``src`` to ``dst``.
+
+        Down links are skipped, so recomputing a failed flow's route
+        automatically steers it around injected link failures.
+        """
         if src == dst:
             return [src]
         if src not in self._out:
@@ -200,7 +221,7 @@ class Topology:
         while frontier:
             node = frontier.popleft()
             for nxt in self._out.get(node, ()):
-                if nxt in parent:
+                if nxt in parent or not self._links[(node, nxt)].up:
                     continue
                 parent[nxt] = node
                 if nxt == dst:
@@ -219,3 +240,5 @@ class Topology:
         for u, v in zip(route, route[1:]):
             if (u, v) not in self._links:
                 raise TopologyError(f"route uses missing link {u!r} -> {v!r}")
+            if not self._links[(u, v)].up:
+                raise TopologyError(f"route uses down link {u!r} -> {v!r}")

@@ -1,0 +1,80 @@
+"""Same (scenario, seed) => identical outcomes, with or without faults."""
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.faults import FaultSchedule
+from repro.net.engine import Engine, LinkMonitor
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def build(seed=17):
+    """Flooded bottleneck with a backup path for the h0 uplink."""
+    topo = Topology()
+    topo.add_duplex_link("h0", "rA", capacity=None)
+    topo.add_duplex_link("h1", "rB", capacity=None)
+    topo.add_duplex_link("bot", "rB", capacity=None)
+    topo.add_duplex_link("rA", "r0", capacity=None)
+    topo.add_duplex_link("rB", "r0", capacity=None)
+    topo.add_duplex_link("rA", "rB", capacity=None)  # backup cross-link
+    topo.add_duplex_link("r0", "srv", capacity=4.0, buffer=50)
+    topo.set_policy("r0", "srv", FLocPolicy(FLocConfig()))
+    engine = Engine(topo, seed=seed)
+    for host, pid in (("h0", (1, 5)), ("h1", (2, 5))):
+        flow = engine.open_flow(host, "srv", path_id=pid)
+        engine.add_source(TcpSource(flow))
+    bot_flow = engine.open_flow("bot", "srv", path_id=(2, 5), is_attack=True)
+    engine.add_source(CbrSource(bot_flow, rate=8.0))
+    return engine
+
+
+def faulty_schedule():
+    schedule = FaultSchedule()
+    schedule.router_restart("r0", "srv", tick=250)
+    schedule.link_flap("rA", "r0", down_tick=300, up_tick=450)
+    schedule.corrupt_state("r0", "srv", tick=500, fraction=0.5)
+    schedule.clock_jitter("r0", "srv", tick=550, max_offset=9)
+    return schedule
+
+
+def run_once(with_faults: bool):
+    engine = build()
+    monitor = engine.add_monitor("r0", "srv", LinkMonitor(record_series=True))
+    log = None
+    if with_faults:
+        schedule = faulty_schedule().install(engine)
+        log = schedule.log
+    engine.run(700)
+    return monitor, log
+
+
+class TestDeterminism:
+    def test_identical_without_faults(self):
+        m1, _ = run_once(False)
+        m2, _ = run_once(False)
+        assert m1.service_counts == m2.service_counts
+        assert m1.drop_counts == m2.drop_counts
+        assert m1.series == m2.series
+
+    def test_identical_with_fault_schedule(self):
+        m1, log1 = run_once(True)
+        m2, log2 = run_once(True)
+        assert log1 == log2
+        assert m1.service_counts == m2.service_counts
+        assert m1.drop_counts == m2.drop_counts
+        assert m1.series == m2.series
+
+    def test_faults_actually_perturb_the_run(self):
+        clean, _ = run_once(False)
+        faulty, log = run_once(True)
+        assert [t for t, _ in log] == [250, 300, 450, 500, 550]
+        assert clean.service_counts != faulty.service_counts
+
+    def test_different_seed_diverges(self):
+        e1, e2 = build(seed=17), build(seed=18)
+        m1 = e1.add_monitor("r0", "srv", LinkMonitor())
+        m2 = e2.add_monitor("r0", "srv", LinkMonitor())
+        e1.run(400)
+        e2.run(400)
+        assert m1.service_counts != m2.service_counts

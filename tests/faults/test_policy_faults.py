@@ -1,0 +1,155 @@
+"""FLocPolicy fault behaviour: snapshot/restore, restart warm-up, LRU."""
+
+import random
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.errors import SimulationError
+from repro.net.engine import Engine, LinkMonitor
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def flooded_engine(seed=21, capacity=3.0, config=None):
+    topo = Topology()
+    for host in ("a", "b", "bot"):
+        topo.add_duplex_link(host, "r0", capacity=None)
+    topo.add_duplex_link("r0", "srv", capacity=capacity, buffer=60)
+    policy = FLocPolicy(config or FLocConfig())
+    topo.set_policy("r0", "srv", policy)
+    engine = Engine(topo, seed=seed)
+    for host, pid in (("a", (1, 9)), ("b", (2, 9))):
+        flow = engine.open_flow(host, "srv", path_id=pid)
+        engine.add_source(TcpSource(flow))
+    bot_flow = engine.open_flow("bot", "srv", path_id=(1, 9), is_attack=True)
+    engine.add_source(CbrSource(bot_flow, rate=6.0))
+    return engine, policy
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_admission_decisions(self):
+        """Restoring a checkpoint onto a wrecked twin policy reproduces the
+        original run's admission decisions exactly (acceptance criterion)."""
+        T, T2 = 400, 300
+        runs = []
+        for wreck in (False, True):
+            engine, policy = flooded_engine()
+            monitor = engine.add_monitor(
+                "r0", "srv", LinkMonitor(start_tick=T, stop_tick=T + T2)
+            )
+            engine.run(T)
+            snap = policy.snapshot()
+            if wreck:
+                policy.restart(engine.tick)  # wipe everything
+                policy.corrupt_state(1.0, random.Random(0))
+                policy.restore(snap)  # ... and bring it all back
+            engine.run(T2)
+            runs.append((monitor, policy))
+        (m_ref, p_ref), (m_restored, p_restored) = runs
+        assert m_ref.service_counts == m_restored.service_counts
+        assert m_ref.drop_counts == m_restored.drop_counts
+        assert p_ref.drop_stats == p_restored.drop_stats
+
+    def test_snapshot_is_independent_deep_copy(self):
+        engine, policy = flooded_engine()
+        engine.run(300)
+        snap = policy.snapshot()
+        tracked_before = set(policy.paths)
+        policy.restart(engine.tick)
+        assert not policy.paths  # live state gone ...
+        policy.restore(snap)
+        assert set(policy.paths) == tracked_before  # ... snapshot intact
+
+    def test_snapshot_before_attach_is_an_error(self):
+        policy = FLocPolicy(FLocConfig())
+        with pytest.raises(SimulationError):
+            policy.snapshot()
+        with pytest.raises(SimulationError):
+            policy.restore({})
+
+
+class TestRestartWarmup:
+    def test_warmup_window_expires(self):
+        cfg = FLocConfig(restart_warmup_ticks=50)
+        engine, policy = flooded_engine(config=cfg)
+        engine.run(300)
+        policy.restart(engine.tick)
+        assert policy.in_warmup
+        engine.run(49)
+        assert policy.in_warmup
+        engine.run(60)
+        assert not policy.in_warmup
+
+    def test_state_reconverges_after_restart(self):
+        engine, policy = flooded_engine(
+            config=FLocConfig(restart_warmup_ticks=50)
+        )
+        engine.run(400)
+        policy.restart(engine.tick)
+        assert not policy.paths
+        engine.run(400)
+        # live traffic regenerated the per-path state
+        assert (1, 9) in policy.paths and (2, 9) in policy.paths
+
+    def test_warmup_does_not_starve_legit_flows(self):
+        engine, policy = flooded_engine(
+            config=FLocConfig(restart_warmup_ticks=200)
+        )
+        engine.run(300)
+        policy.restart(engine.tick)
+        monitor = engine.add_monitor("r0", "srv", LinkMonitor())
+        engine.run(150)  # entirely inside the warm-up window
+        legit_ids = {
+            f.flow_id for f in engine.flows.values() if not f.is_attack
+        }
+        legit_served = sum(
+            c for fid, c in monitor.service_counts.items() if fid in legit_ids
+        )
+        assert legit_served > 0
+
+
+class TestBoundedPathState:
+    def test_lru_eviction_caps_tracked_paths(self):
+        cfg = FLocConfig(max_tracked_paths=2)
+        topo = Topology()
+        for i in range(4):
+            topo.add_duplex_link(f"h{i}", "r0", capacity=None)
+        topo.add_duplex_link("r0", "srv", capacity=4.0, buffer=40)
+        policy = FLocPolicy(cfg)
+        topo.set_policy("r0", "srv", policy)
+        engine = Engine(topo, seed=8)
+        for i in range(4):
+            flow = engine.open_flow(f"h{i}", "srv", path_id=(i, 9))
+            # staggered starts so eviction order is well defined
+            engine.add_source(TcpSource(flow, start_tick=i * 120))
+        engine.run(600)
+        assert len(policy.paths) <= 2
+
+    def test_unbounded_by_default(self):
+        engine, policy = flooded_engine()
+        engine.run(400)
+        assert policy.cfg.max_tracked_paths is None
+        assert len(policy.paths) == 2
+
+
+class TestCorruptionAndJitter:
+    def test_partial_corruption_survivors_keep_state(self):
+        engine, policy = flooded_engine()
+        engine.run(400)
+        before = set(policy.paths)
+        # fraction 0 forgets nothing
+        policy.corrupt_state(0.0, random.Random(1))
+        assert set(policy.paths) == before
+
+    def test_jittered_clock_still_refreshes_state(self):
+        engine, policy = flooded_engine()
+        engine.run(200)
+        policy.jitter_clock(7)
+        engine.run(400)
+        # measurement machinery keeps running on the shifted phase
+        assert policy.paths
+        state = next(iter(policy.paths.values()))
+        assert state.lambda_rate > 0.0

@@ -1,0 +1,61 @@
+"""The robustness_faults experiment: completion + recovery criterion."""
+
+import pytest
+
+from repro.experiments.common import FunctionalSettings
+from repro.experiments.robustness_faults import (
+    PhaseBandwidth,
+    run_robustness_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    settings = FunctionalSettings(
+        scale=0.05, warmup_seconds=2.0, measure_seconds=6.0, seed=3
+    )
+    return run_robustness_faults(
+        settings,
+        packet_schemes=("floc",),
+        fluid_strategies=("floc", "nd"),
+    )
+
+
+class TestRobustnessFaults:
+    def test_completes_for_both_simulators(self, result):
+        assert [r.simulator for r in result.packet] == ["packet"]
+        assert [r.simulator for r in result.fluid] == ["fluid", "fluid"]
+
+    def test_faults_fired_in_both_simulators(self, result):
+        packet_names = {name for _, name in result.packet[0].fault_log}
+        assert any("restart" in n for n in packet_names)
+        assert any("link-down" in n for n in packet_names)
+        assert any("link-up" in n for n in packet_names)
+        fluid_names = {name for _, name in result.fluid[0].fault_log}
+        assert "defense-restart" in fluid_names
+        assert "uplink-degrade" in fluid_names and "uplink-restore" in fluid_names
+
+    def test_floc_recovers_within_20_percent_packet(self, result):
+        floc = result.packet[0]
+        assert floc.pre > 0
+        assert floc.recovery_ratio >= 0.8
+
+    def test_floc_recovers_within_20_percent_fluid(self, result):
+        floc = next(r for r in result.fluid if r.scheme == "floc")
+        assert floc.pre > 0
+        assert floc.recovery_ratio >= 0.8
+
+    def test_faults_bite_during_window_fluid(self, result):
+        floc = next(r for r in result.fluid if r.scheme == "floc")
+        assert floc.during < floc.pre  # degradation is visible, not masked
+
+    def test_rows_shape(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        assert all(len(row) == 6 for row in rows)
+
+    def test_recovery_ratio_defined_for_zero_pre(self):
+        entry = PhaseBandwidth(
+            simulator="packet", scheme="x", pre=0.0, during=0.0, post=0.0
+        )
+        assert entry.recovery_ratio == 1.0

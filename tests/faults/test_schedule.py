@@ -1,0 +1,106 @@
+"""FaultSchedule: event semantics, validation, installation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+
+
+def tiny_engine(seed=5):
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=2.0, buffer=10)
+    return Engine(topo, seed=seed)
+
+
+class TestFaultEvent:
+    def test_one_shot_fires_exactly_once(self):
+        event = FaultEvent(tick=7, injector=lambda *a: None, name="x")
+        fired = [t for t in range(20) if event.fires_at(t)]
+        assert fired == [7]
+
+    def test_recurring_fires_on_period(self):
+        event = FaultEvent(
+            tick=4, injector=lambda *a: None, name="x", period=3, until=14
+        )
+        fired = [t for t in range(20) if event.fires_at(t)]
+        assert fired == [4, 7, 10, 13]
+
+    def test_recurring_without_until_keeps_firing(self):
+        event = FaultEvent(
+            tick=0, injector=lambda *a: None, name="x", period=10
+        )
+        assert event.fires_at(1000)
+
+
+class TestValidation:
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().at(-1, lambda *a: None)
+
+    def test_non_callable_injector_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().at(3, "not-a-function")
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().every(0, lambda *a: None)
+
+    def test_until_before_start_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().every(5, lambda *a: None, start=10, until=10)
+
+    def test_flap_up_must_follow_down(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().link_flap("a", "b", down_tick=5, up_tick=5)
+
+    def test_corruption_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().corrupt_state("a", "b", 3, fraction=1.5)
+
+    def test_negative_jitter_bound_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule().clock_jitter("a", "b", 3, max_offset=-1)
+
+
+class TestInstall:
+    def test_injector_fires_at_scheduled_tick_with_rng(self):
+        engine = tiny_engine()
+        seen = []
+        schedule = FaultSchedule().at(
+            3, lambda host, tick, rng: seen.append((host, tick, rng.random())),
+            name="probe",
+        )
+        schedule.install(engine)
+        engine.run(6)
+        assert len(seen) == 1
+        host, tick, draw = seen[0]
+        assert host is engine and tick == 3
+        assert 0.0 <= draw < 1.0
+        assert schedule.log == [(3, "probe")]
+
+    def test_recurring_injector_logged_every_period(self):
+        engine = tiny_engine()
+        schedule = FaultSchedule().every(
+            2, lambda *a: None, start=1, until=8, name="beat"
+        )
+        schedule.install(engine)
+        engine.run(10)
+        assert [t for t, _ in schedule.log] == [1, 3, 5, 7]
+
+    def test_chaining_returns_schedule(self):
+        schedule = FaultSchedule()
+        assert schedule.at(1, lambda *a: None) is schedule
+        assert schedule.every(2, lambda *a: None) is schedule
+
+    def test_schedule_rng_is_seed_derived(self):
+        draws = []
+        for _ in range(2):
+            engine = tiny_engine(seed=5)
+            schedule = FaultSchedule().at(
+                1, lambda h, t, rng: draws.append(rng.random())
+            )
+            schedule.install(engine)
+            engine.run(3)
+        assert draws[0] == draws[1]

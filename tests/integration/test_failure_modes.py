@@ -38,10 +38,11 @@ class TestLifecycle:
         engine, policy = small_engine()
         f1 = engine.open_flow("a", "srv", path_id=(1, 9))
         engine.add_source(TcpSource(f1))
-        engine.run(300)
+        # the second path appears mid-run: sources must be registered
+        # before the engine starts, so it is declared with a delayed start
         f2 = engine.open_flow("b", "srv", path_id=(2, 9))
-        engine.add_source(TcpSource(f2, start_tick=engine.tick))
-        engine.run(300)
+        engine.add_source(TcpSource(f2, start_tick=300))
+        engine.run(600)
         assert (2, 9) in policy.paths
         # both paths are mapped into live bandwidth groups (possibly the
         # same one, if legitimate aggregation merged them)

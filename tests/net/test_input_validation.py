@@ -1,0 +1,94 @@
+"""Input validation: clear errors instead of silent misbehaviour."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+
+
+def engine_with_link():
+    topo = Topology()
+    topo.add_duplex_link("a", "r", capacity=None)
+    topo.add_duplex_link("r", "srv", capacity=2.0, buffer=10)
+    return Engine(topo, seed=1), topo
+
+
+class TestEngineValidation:
+    def test_negative_run_rejected(self):
+        engine, _ = engine_with_link()
+        with pytest.raises(SimulationError, match="negative"):
+            engine.run(-1)
+
+    def test_zero_run_is_a_no_op(self):
+        engine, _ = engine_with_link()
+        engine.run(0)
+        assert engine.tick == 0
+
+    def test_open_flow_rejects_single_node_route(self):
+        engine, _ = engine_with_link()
+        with pytest.raises(SimulationError, match="route"):
+            engine.open_flow("a", "srv", path_id=(1,), route=["a"])
+
+    def test_open_flow_rejects_empty_route(self):
+        engine, _ = engine_with_link()
+        with pytest.raises(SimulationError, match="route"):
+            engine.open_flow("a", "srv", path_id=(1,), route=[])
+
+    def test_open_flow_rejects_degenerate_endpoints(self):
+        engine, _ = engine_with_link()
+        with pytest.raises(SimulationError, match="route"):
+            engine.open_flow("a", "a", path_id=(1,))
+
+    def test_add_source_after_start_rejected(self):
+        engine, _ = engine_with_link()
+        flow = engine.open_flow("a", "srv", path_id=(1,))
+        engine.add_source(TcpSource(flow))
+        engine.run(5)
+        late = engine.open_flow("a", "srv", path_id=(2,))
+        with pytest.raises(SimulationError, match="started"):
+            engine.add_source(TcpSource(late))
+
+
+class TestTopologyValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            Topology().add_link("a", "b", capacity=0.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            Topology().add_link("a", "b", capacity=-3.0)
+
+    def test_unbounded_capacity_allowed(self):
+        topo = Topology()
+        topo.add_link("a", "b", capacity=None)
+        assert topo.link("a", "b").capacity is None
+
+    def test_zero_buffer_rejected(self):
+        with pytest.raises(TopologyError, match="buffer"):
+            Topology().add_link("a", "b", capacity=1.0, buffer=0)
+
+    def test_routing_skips_down_links(self):
+        topo = Topology()
+        topo.add_duplex_link("a", "m1", capacity=None)
+        topo.add_duplex_link("m1", "z", capacity=None)
+        topo.add_duplex_link("a", "m2", capacity=None)
+        topo.add_duplex_link("m2", "z", capacity=None)
+        topo.link("a", "m1").up = False
+        route = topo.shortest_route("a", "z")
+        assert route == ["a", "m2", "z"]
+
+    def test_no_route_when_only_path_is_down(self):
+        topo = Topology()
+        topo.add_duplex_link("a", "b", capacity=None)
+        topo.link("a", "b").up = False
+        with pytest.raises(TopologyError):
+            topo.shortest_route("a", "b")
+
+    def test_validate_route_rejects_down_hop(self):
+        topo = Topology()
+        topo.add_duplex_link("a", "b", capacity=None)
+        topo.link("a", "b").up = False
+        with pytest.raises(TopologyError, match="down"):
+            topo.validate_route(["a", "b"])

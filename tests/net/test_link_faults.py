@@ -1,0 +1,138 @@
+"""Engine link-failure primitives and LinkMonitor series finalisation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.engine import Engine, LinkMonitor
+from repro.net.topology import Topology
+from repro.tcp.source import TcpSource
+from repro.traffic.cbr import CbrSource
+
+
+def line_engine(seed=3):
+    topo = Topology()
+    topo.add_duplex_link("h", "r", capacity=None)
+    topo.add_duplex_link("r", "srv", capacity=3.0, buffer=20)
+    return Engine(topo, seed=seed), topo
+
+
+class TestFailRestore:
+    def test_fail_link_loses_queue_and_blocks_arrivals(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        engine.add_source(CbrSource(flow, rate=6.0))
+        engine.run(30)
+        link = topo.link("r", "srv")
+        assert len(link.queue) > 0
+        dropped_before = link.dropped_total
+        engine.fail_link("r", "srv")
+        assert not link.up and len(link.queue) == 0
+        assert link.dropped_total > dropped_before
+        served_down = link.serviced_total
+        engine.run(20)
+        assert link.serviced_total == served_down  # nothing passes
+
+    def test_dead_drops_bypass_policy_notification(self):
+        engine, topo = line_engine()
+
+        from repro.net.policy import LinkPolicy
+
+        class CountingPolicy(LinkPolicy):
+            drops = 0
+
+            def on_drop(self, pkt, tick):
+                CountingPolicy.drops += 1
+
+        topo.set_policy("r", "srv", CountingPolicy())
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        engine.add_source(CbrSource(flow, rate=2.0))
+        engine.run(10)
+        engine.fail_link("r", "srv")
+        before = CountingPolicy.drops
+        engine.run(20)
+        # outage losses are not congestion drops: the policy never hears
+        # about them (its MTD analogues must not be polluted)
+        assert CountingPolicy.drops == before
+        assert topo.link("r", "srv").dropped_total > 0
+
+    def test_restore_link_resumes_service(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        engine.add_source(TcpSource(flow))
+        engine.run(20)
+        engine.fail_link("r", "srv")
+        engine.run(20)
+        served = topo.link("r", "srv").serviced_total
+        engine.restore_link("r", "srv")
+        assert topo.link("r", "srv").up
+        engine.run(60)
+        assert topo.link("r", "srv").serviced_total > served
+
+
+class TestRerouteFlow:
+    def test_default_reroute_avoids_down_link(self):
+        topo = Topology()
+        topo.add_duplex_link("h", "a", capacity=None)
+        topo.add_duplex_link("h", "b", capacity=None)
+        topo.add_duplex_link("a", "srv", capacity=None)
+        topo.add_duplex_link("b", "srv", capacity=None)
+        engine = Engine(topo, seed=2)
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        first_mid = flow.route[1]
+        other_mid = "b" if first_mid == "a" else "a"
+        engine.fail_link("h", first_mid)
+        engine.fail_link(first_mid, "h")
+        engine.reroute_flow(flow)
+        assert flow.route == ("h", other_mid, "srv")
+        assert flow.reverse_route == ("srv", other_mid, "h")
+
+    def test_explicit_route_is_validated(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        with pytest.raises(TopologyError):
+            engine.reroute_flow(flow, route=["h", "nowhere", "srv"])
+
+    def test_path_id_survives_reroute(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(7, 9))
+        engine.reroute_flow(flow)
+        assert flow.path_id == (7, 9)
+
+
+class TestMonitorFlush:
+    def test_final_tick_of_series_is_recorded(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        engine.add_source(CbrSource(flow, rate=2.0))
+        monitor = engine.add_monitor("r", "srv", LinkMonitor(record_series=True))
+        engine.run(50)
+        last_serviced_tick = max(t for t, _ in monitor.series)
+        # the link serviced packets right up to the end of the run; the
+        # final measurement tick must not be silently dropped
+        assert last_serviced_tick >= 49 - 3  # emission + 2 hops of latency
+        assert sum(n for _, n in monitor.series) == monitor.total_serviced
+
+    def test_flush_is_idempotent(self):
+        engine, topo = line_engine()
+        flow = engine.open_flow("h", "srv", path_id=(1,))
+        engine.add_source(CbrSource(flow, rate=2.0))
+        monitor = engine.add_monitor("r", "srv", LinkMonitor(record_series=True))
+        engine.run(30)
+        snapshot = list(monitor.series)
+        monitor.flush()
+        monitor.flush()
+        assert monitor.series == snapshot
+
+    def test_series_consistent_across_segmented_runs(self):
+        def totals(segments):
+            engine, topo = line_engine()
+            flow = engine.open_flow("h", "srv", path_id=(1,))
+            engine.add_source(CbrSource(flow, rate=2.0))
+            monitor = engine.add_monitor(
+                "r", "srv", LinkMonitor(record_series=True)
+            )
+            for seg in segments:
+                engine.run(seg)
+            return monitor.series
+
+        assert totals([60]) == totals([20, 20, 20])
