@@ -19,8 +19,12 @@ its evaluation depends on:
 * Internet-scale topology synthesis and a vectorised fluid simulator
   (:mod:`repro.inet`),
 * deterministic fault injection — link flaps with rerouting, router
-  restarts, state corruption, clock jitter — for robustness studies on
-  either simulator (:mod:`repro.faults`),
+  restarts, state corruption, clock jitter, silent counter corruption —
+  for robustness studies on either simulator (:mod:`repro.faults`),
+* a runtime invariant sanitizer installable on both simulators
+  (:mod:`repro.sanitize`),
+* a crash-safe supervised experiment runner with checkpoint/resume,
+  watchdog deadlines and bounded retries (:mod:`repro.runner`),
 * measurement/reporting helpers (:mod:`repro.analysis`) and one runner
   per paper figure (:mod:`repro.experiments`).
 
@@ -37,8 +41,13 @@ True
 
 from .errors import (
     CapabilityError,
+    CheckpointError,
     ConfigError,
+    DeadlineExceeded,
+    Interrupted,
+    InvariantViolation,
     ReproError,
+    RunnerError,
     SimulationError,
     TopologyError,
 )
@@ -63,13 +72,32 @@ from .core import FLocConfig, FLocPolicy
 from .baselines import FairSharePolicy, PushbackPolicy, RedPdPolicy, RedPolicy
 from .inet import FluidSimulator, build_internet_scenario
 from .faults import (
+    CounterCorruption,
     FaultSchedule,
+    FluidCounterCorruption,
     FluidLinkDegrade,
     LinkFlap,
     clock_jitter,
     fluid_restart,
     router_restart,
     state_corruption,
+)
+from .sanitize import (
+    EngineSanitizer,
+    FluidSanitizer,
+    SanitizerReport,
+    install_sanitizer,
+)
+from .runner import (
+    CheckpointStore,
+    EngineRun,
+    FluidRun,
+    GracefulShutdown,
+    RetryPolicy,
+    SupervisedRunner,
+    Watchdog,
+    build_figure_job,
+    run_checkpointed,
 )
 
 __version__ = "1.0.0"
@@ -110,5 +138,25 @@ __all__ = [
     "state_corruption",
     "clock_jitter",
     "fluid_restart",
+    "CounterCorruption",
+    "FluidCounterCorruption",
+    "InvariantViolation",
+    "RunnerError",
+    "CheckpointError",
+    "DeadlineExceeded",
+    "Interrupted",
+    "EngineSanitizer",
+    "FluidSanitizer",
+    "SanitizerReport",
+    "install_sanitizer",
+    "CheckpointStore",
+    "SupervisedRunner",
+    "RetryPolicy",
+    "Watchdog",
+    "GracefulShutdown",
+    "EngineRun",
+    "FluidRun",
+    "run_checkpointed",
+    "build_figure_job",
     "__version__",
 ]

@@ -5,22 +5,35 @@ Commands
 ``list``
     Show the reproducible figures and their one-line descriptions.
 ``run FIG [options]``
-    Run one figure's experiment and print its rows (e.g. ``run fig08``).
+    Run one figure's experiment under the supervised runner and print
+    its rows (e.g. ``run fig08``).
 ``quickstart``
     The README quickstart: FLoc on a flooded link, bandwidth breakdown.
 
 Scale/duration flags apply to the functional figures; internet-scale
-figures take ``--variants``.
+figures take ``--variants``.  Every ``run`` is supervised (see
+:mod:`repro.runner`): ``--checkpoint-dir`` makes it crash-safe,
+``--resume`` continues a killed run bit-identically, ``--deadline``
+bounds its wall-clock time and ``--sanitize`` installs the runtime
+invariant layer on every simulator.
+
+Exit codes: 0 all units completed; 1 every unit failed; 2 bad
+configuration or unusable checkpoint directory; 3 partial (some units
+failed — completed rows are still printed and salvaged); 4 watchdog
+deadline exceeded; 5 interrupted by SIGTERM/SIGINT (progress
+checkpointed; re-run with ``--resume``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.export import write_csv
 from .analysis.report import format_table
+from .errors import ReproError
 from .experiments.common import FunctionalSettings
 
 FIGURES = {
@@ -39,6 +52,15 @@ FIGURES = {
     "faults": "graceful degradation under router restart + link faults",
 }
 
+#: JobReport.status -> process exit code (see module docstring).
+EXIT_CODES = {
+    "ok": 0,
+    "failed": 1,
+    "partial": 3,
+    "deadline": 4,
+    "interrupted": 5,
+}
+
 
 def _settings(args) -> FunctionalSettings:
     return FunctionalSettings(
@@ -46,6 +68,7 @@ def _settings(args) -> FunctionalSettings:
         warmup_seconds=args.warmup,
         measure_seconds=args.seconds,
         seed=args.seed,
+        sanitize=getattr(args, "sanitize", None),
     )
 
 
@@ -54,146 +77,55 @@ def _emit(args, name: str, headers, rows, title: str) -> None:
     sys.stdout.write(format_table(headers, rows, title=title))
     sys.stdout.write("\n")
     if getattr(args, "csv", None):
-        path = write_csv(f"{args.csv}/{name}.csv", headers, rows)
+        path = write_csv(
+            os.path.join(args.csv, f"{name}.csv"), headers, rows
+        )
         sys.stdout.write(f"wrote {path}\n")
 
 
 def _run_figure(args) -> int:
-    fig = args.figure
-    out = sys.stdout
-    if fig == "fig02":
-        from .experiments.fig02 import run_fig02
+    from .runner import (
+        CheckpointStore,
+        RetryPolicy,
+        SupervisedRunner,
+        build_figure_job,
+    )
 
-        result = run_fig02(_settings(args))
-        _emit(args, fig, ["second", "service pkt/s", "drop pkt/s"],
-              result.rows, FIGURES[fig])
-        out.write(
-            f"service/drop ratio: {result.service_to_drop_ratio:.1f}\n"
-        )
-    elif fig == "fig03":
-        from .experiments.fig03 import run_fig03
-
-        result = run_fig03(seed=args.seed)
-        rows = sorted(result.mode_fractions.items())
-        _emit(args, fig, ["size (B)", "fraction"], rows, FIGURES[fig])
-    elif fig == "fig04":
-        from .experiments.fig04 import run_fig04
-
-        result = run_fig04(seed=args.seed)
-        _emit(
-            args, fig, ["case", "token utilization"],
-            [
-                ["unsynchronized", result.utilization_unsync],
-                ["synchronized", result.utilization_sync],
-                ["partial", result.utilization_partial],
-            ],
-            FIGURES[fig],
-        )
-    elif fig == "fig06":
-        from .experiments.common import mean
-        from .experiments.fig06 import run_fig06
-
-        rows = []
-        for kind in ("tcp", "cbr", "shrew"):
-            result = run_fig06(kind, _settings(args))
-            rows.append(
-                [
-                    kind,
-                    result.fair_path_mbps,
-                    mean(result.legit_path_means),
-                    mean(result.attack_path_means),
-                ]
+    settings = _settings(args)
+    job = build_figure_job(
+        args.figure, settings, variants=tuple(args.variants)
+    )
+    store = None
+    root = args.resume or args.checkpoint_dir
+    if root:
+        store = CheckpointStore(root)
+        if not args.resume and store.job is not None:
+            # --checkpoint-dir without --resume restarts the job; stale
+            # entries must not be mistaken for this run's results
+            store.reset()
+    runner = SupervisedRunner(
+        store=store,
+        deadline_seconds=args.deadline,
+        retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
+        sanitize=settings.sanitize,
+        log=lambda message: sys.stderr.write(f"[runner] {message}\n"),
+    )
+    report = runner.run_units(job.units, job.fingerprint)
+    output = job.finalize(report.results)
+    _emit(args, args.figure, output.headers, output.rows, FIGURES[args.figure])
+    for note in output.notes:
+        sys.stdout.write(f"{note}\n")
+    if not report.ok:
+        sys.stderr.write(f"job {report.status}:\n")
+        for name, status, attempts, error in report.summary_rows():
+            suffix = f" ({error})" if error else ""
+            sys.stderr.write(f"  {name}: {status}{suffix}\n")
+        if store is not None and report.results:
+            path = store.save("salvage", "partial-results", dict(report.results))
+            sys.stderr.write(
+                f"salvaged {len(report.results)} unit result(s) to {path}\n"
             )
-        _emit(
-            args, fig,
-            ["attack", "fair Mbps/path", "legit-path mean",
-             "attack-path mean"],
-            rows, FIGURES[fig],
-        )
-    elif fig == "fig07":
-        from .experiments.fig07 import run_fig07
-
-        result = run_fig07(_settings(args))
-        _emit(args, fig, ["scheme", "bot Mbps", "mean", "p10", "p50", "p90"],
-              result.summary_rows(), FIGURES[fig])
-        out.write(f"ideal fair per-flow: {result.ideal_flow_mbps:.3f} Mbps\n")
-    elif fig == "fig08":
-        from .experiments.fig08 import run_fig08
-
-        result = run_fig08(_settings(args))
-        _emit(
-            args, fig,
-            ["scheme", "bot Mbps", "legit-legit", "legit-attack", "attack",
-             "util"],
-            result.rows(), FIGURES[fig],
-        )
-    elif fig == "fig09":
-        from .experiments.common import mean
-        from .experiments.fig09 import run_fig09
-
-        result = run_fig09(_settings(args))
-        rows = [
-            ["without aggregation",
-             mean(result.without_agg.small_domain_rates),
-             mean(result.without_agg.big_domain_rates),
-             result.without_agg.small_big_ratio],
-            ["with aggregation",
-             mean(result.with_agg.small_domain_rates),
-             mean(result.with_agg.big_domain_rates),
-             result.with_agg.small_big_ratio],
-        ]
-        _emit(
-            args, fig,
-            ["variant", "small-domain Mbps", "big-domain Mbps", "ratio"],
-            rows, FIGURES[fig],
-        )
-    elif fig == "fig10":
-        from .experiments.fig10 import run_fig10
-
-        result = run_fig10(_settings(args))
-        _emit(args, fig, ["scheme", "fanout", "legit total", "attack", "util"],
-              result.rows(), FIGURES[fig])
-    elif fig == "fig11":
-        from .experiments.fig11 import run_fig11
-
-        rows = []
-        for placement in ("localized", "dispersed"):
-            for s in run_fig11(placement, variants=tuple(args.variants)):
-                rows.append(
-                    [placement, s.variant, s.n_as, s.n_attack_ases,
-                     s.red_links, round(s.bot_concentration_top_10pct, 3)]
-                )
-        _emit(
-            args, fig,
-            ["placement", "variant", "ASes", "attack ASes", "red links",
-             "bot concentration"],
-            rows, FIGURES[fig],
-        )
-    elif fig in ("fig13", "fig14", "fig15"):
-        from .experiments.fig13 import run_fig13
-
-        placement = {"fig13": "localized", "fig14": "dispersed",
-                     "fig15": "separated"}[fig]
-        result = run_fig13(placement=placement, variants=tuple(args.variants))
-        _emit(
-            args, fig,
-            ["variant", "strategy", "legit-legit", "legit-attack", "attack",
-             "util"],
-            result.rows(), FIGURES[fig],
-        )
-    elif fig == "faults":
-        from .experiments.robustness_faults import run_robustness_faults
-
-        result = run_robustness_faults(_settings(args))
-        _emit(
-            args, fig,
-            ["simulator", "scheme", "pre", "during", "post", "recovery"],
-            result.rows(), FIGURES[fig],
-        )
-    else:
-        out.write(f"unknown figure {fig!r}; see `python -m repro list`\n")
-        return 2
-    return 0
+    return EXIT_CODES[report.status]
 
 
 def _quickstart(args) -> int:
@@ -248,6 +180,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants", nargs="+", default=["f-root"],
         help="skitter-map variants for internet-scale figures",
     )
+    run.add_argument(
+        "--sanitize", choices=("off", "strict", "record"), default="off",
+        help="runtime invariant checking: 'strict' aborts the unit on the "
+             "first violation, 'record' collects violations silently",
+    )
+    run.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write crash-safe checkpoints to DIR (restarts any job "
+             "already stored there; combine with --resume to continue it)",
+    )
+    run.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume from the checkpoints in DIR: completed units are "
+             "loaded, interrupted simulations continue mid-run",
+    )
+    run.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock watchdog deadline for the whole job",
+    )
+    run.add_argument(
+        "--retries", type=int, metavar="N", default=1,
+        help="max retries per unit for transient failures (default 1)",
+    )
 
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
     _add_common(quick)
@@ -273,9 +228,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stdout.write(format_table(["figure", "reproduces"], rows))
         sys.stdout.write("\n")
         return 0
-    if args.command == "run":
-        return _run_figure(args)
-    return _quickstart(args)
+    try:
+        if args.command == "run":
+            return _run_figure(args)
+        return _quickstart(args)
+    except ReproError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -43,6 +43,12 @@ class AggregationPlan:
         self.group_of: Dict[PathId, GroupKey] = {}
         self.members: Dict[GroupKey, List[PathId]] = {}
         self.shares: Dict[GroupKey, float] = {}
+        # inputs the plan was built from, for the runtime |S| <= |S|_max
+        # invariant (repro.sanitize): aggregate_attack_paths guarantees at
+        # most max(1, s_max - n_legit) attack identifiers, so the total is
+        # bounded by max(s_max, n_legit + 1)
+        self.s_max: Optional[int] = None
+        self.n_legit_inputs: Optional[int] = None
 
     @classmethod
     def identity(cls, pids: Iterable[PathId]) -> "AggregationPlan":
@@ -354,6 +360,8 @@ def build_plan(
     plan = AggregationPlan()
     remaining_attack = list(dict.fromkeys(attack_pids))
     remaining_legit = [p for p in dict.fromkeys(legit_pids) if p not in set(remaining_attack)]
+    plan.s_max = s_max
+    plan.n_legit_inputs = len(remaining_legit)
 
     if s_max is not None and remaining_attack:
         for suffix, members in aggregate_attack_paths(

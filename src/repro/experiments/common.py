@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.accounting import (
@@ -21,6 +21,8 @@ from ..core.config import FLocConfig
 from ..core.router import FLocPolicy
 from ..errors import ConfigError
 from ..net.policy import DropTailPolicy, RandomDropPolicy
+from ..sanitize import MODES as SANITIZE_MODES
+from ..sanitize import install_sanitizer
 from ..traffic.scenarios import TreeScenario
 
 #: Scheme names accepted by :func:`make_policy`.
@@ -55,6 +57,34 @@ class FunctionalSettings:
     measure_seconds: float = 15.0
     seed: int = 1
     s_max: Optional[int] = None  # |S|_max for FLoc runs that aggregate
+    #: runtime invariant checking: None/"off", "strict" or "record"
+    #: (see :mod:`repro.sanitize`)
+    sanitize: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.scale > 0:
+            raise ConfigError(
+                f"scale must be > 0, got {self.scale!r}"
+            )
+        if not self.warmup_seconds > 0:
+            raise ConfigError(
+                f"warmup_seconds must be > 0, got {self.warmup_seconds!r}"
+            )
+        if not self.measure_seconds > 0:
+            raise ConfigError(
+                f"measure_seconds must be > 0, got {self.measure_seconds!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigError(
+                f"seed must be an int, got {self.seed!r}"
+            )
+        if self.s_max is not None and self.s_max < 1:
+            raise ConfigError(f"s_max must be >= 1, got {self.s_max!r}")
+        if self.sanitize not in (None, "off") + SANITIZE_MODES:
+            raise ConfigError(
+                f"sanitize must be one of {(None, 'off') + SANITIZE_MODES}, "
+                f"got {self.sanitize!r}"
+            )
 
     @property
     def total_seconds(self) -> float:
@@ -70,14 +100,19 @@ def make_policy(
     if scheme not in SCHEMES:
         raise ConfigError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
     if scheme.startswith("floc"):
-        cfg = floc_config or FLocConfig(s_max=settings.s_max)
+        # never mutate a caller-supplied config: the same FLocConfig is
+        # often reused across the schemes of a sweep
+        cfg = (
+            floc_config
+            if floc_config is not None
+            else FLocConfig(s_max=settings.s_max)
+        )
         if scheme == "floc-noagg":
-            cfg.s_max = None
-            cfg.min_guaranteed_share = None
+            cfg = replace(cfg, s_max=None, min_guaranteed_share=None)
         elif scheme == "floc-nopref":
-            cfg.preferential_drop = False
+            cfg = replace(cfg, preferential_drop=False)
         elif scheme == "floc-filter":
-            cfg.use_drop_filter = True
+            cfg = replace(cfg, use_drop_filter=True)
         return FLocPolicy(cfg)
     if scheme == "pushback":
         return PushbackPolicy()
@@ -115,6 +150,7 @@ def run_breakdown(
     """Attach a scheme, run, and compute the category breakdown."""
     policy = make_policy(scheme, settings, floc_config)
     scenario.attach_policy(policy)
+    sanitizer = install_sanitizer(scenario.engine, settings.sanitize)
     monitor = scenario.add_target_monitor(
         start_seconds=settings.warmup_seconds,
         stop_seconds=settings.total_seconds,
@@ -146,7 +182,7 @@ def run_breakdown(
             monitor, lia, window_ticks, scenario.units
         ),
         attack_rates=per_flow_rates(monitor, att, window_ticks, scenario.units),
-        extra={"monitor": monitor, "policy": policy},
+        extra={"monitor": monitor, "policy": policy, "sanitizer": sanitizer},
     )
 
 

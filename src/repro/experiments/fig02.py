@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..net.engine import LinkMonitor
+from ..sanitize import install_sanitizer
 from ..traffic.scenarios import build_tree_scenario
 from .common import FunctionalSettings, make_policy
 
@@ -41,6 +42,7 @@ def run_fig02(settings: FunctionalSettings = FunctionalSettings()) -> Fig02Resul
         start_spread_seconds=1.0,
     )
     scenario.attach_policy(make_policy("droptail", settings))
+    install_sanitizer(scenario.engine, settings.sanitize)
     units = scenario.units
     start = units.seconds_to_ticks(settings.warmup_seconds)
     stop = units.seconds_to_ticks(settings.total_seconds)

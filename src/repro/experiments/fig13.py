@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..inet.scenarios import build_internet_scenario
 from ..inet.simulator import FluidResult, FluidSimulator
+from ..sanitize import install_sanitizer
 
 
 @dataclass
@@ -81,11 +82,13 @@ def run_fig13(
     placement: str = "localized",
     variants: Tuple[str, ...] = ("f-root", "h-root", "jpn"),
     settings: InternetRunSettings = None,
+    sanitize: Optional[str] = None,
 ) -> Fig13Result:
     """Run the strategy sweep for one placement across map variants.
 
     ``placement``: "localized" (FIG-13), "dispersed" (FIG-14) or
-    "separated" (FIG-15).
+    "separated" (FIG-15).  ``sanitize`` installs the runtime invariant
+    layer on every simulator ("strict" or "record").
     """
     settings = settings or InternetRunSettings()
     out = Fig13Result(placement=placement)
@@ -104,6 +107,7 @@ def run_fig13(
             sim = FluidSimulator(
                 scenario, strategy=strategy, s_max=s_max, seed=settings.seed
             )
+            install_sanitizer(sim, sanitize)
             out.results[(variant, label)] = sim.run(
                 ticks=settings.ticks, warmup=settings.warmup
             )

@@ -33,6 +33,7 @@ from ..faults import FaultSchedule, FluidLinkDegrade, fluid_restart
 from ..inet.scenarios import build_internet_scenario
 from ..inet.simulator import FluidSimulator
 from ..net.engine import LinkMonitor
+from ..sanitize import install_sanitizer
 from ..traffic.scenarios import ROOT, build_tree_scenario
 from .common import FunctionalSettings, make_policy
 
@@ -133,6 +134,7 @@ def run_packet_faults(
             up_tick=t1 + (3 * phase) // 4,
         )
         faults.install(scenario.engine)
+        install_sanitizer(scenario.engine, settings.sanitize)
         scenario.engine.run(t3)
 
         legit_ids = {f.flow_id for f in scenario.legit_flows}
@@ -209,6 +211,7 @@ def run_fluid_faults(
         faults.at(t1, degrade.down, name="uplink-degrade")
         faults.at(t2, degrade.up, name="uplink-restore")
         faults.install(sim)
+        install_sanitizer(sim, settings.sanitize)
 
         result = sim.run(ticks=t3, warmup=warmup, record_series=True)
 

@@ -14,6 +14,8 @@ See ``docs/architecture.md`` ("Fault injection & degradation") and the
 """
 
 from .injectors import (
+    CounterCorruption,
+    FluidCounterCorruption,
     FluidLinkDegrade,
     LinkFlap,
     clock_jitter,
@@ -24,8 +26,10 @@ from .injectors import (
 from .schedule import FaultEvent, FaultSchedule
 
 __all__ = [
+    "CounterCorruption",
     "FaultEvent",
     "FaultSchedule",
+    "FluidCounterCorruption",
     "FluidLinkDegrade",
     "LinkFlap",
     "clock_jitter",

@@ -9,9 +9,16 @@ reproducible).
 
 Two stateful injector pairs model transient faults that must undo
 themselves — :class:`LinkFlap` (packet level) and
-:class:`FluidLinkDegrade` (fluid level) — and a handful of factories wrap
-the :class:`~repro.net.policy.LinkPolicy` fault hooks (restart, partial
-state corruption, clock jitter).
+:class:`FluidLinkDegrade` (fluid level) — and a set of callable classes
+wrap the :class:`~repro.net.policy.LinkPolicy` fault hooks (restart,
+partial state corruption, clock jitter).  Injectors are plain picklable
+objects (no closures) so a simulator with an installed fault schedule can
+be checkpointed mid-run by :mod:`repro.runner`.
+
+:class:`CounterCorruption` and :class:`FluidCounterCorruption` silently
+corrupt internal accounting state without any behavioural side effect —
+exactly the class of bug the :mod:`repro.sanitize` invariant layer exists
+to catch (strict mode must flag them within one tick).
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Tuple
 
-from ..errors import SimulationError, TopologyError
+from ..errors import ConfigError, SimulationError, TopologyError
 
 
 def _target_policy(engine, src, dst):
@@ -82,7 +89,7 @@ class LinkFlap:
         self._saved.clear()
 
 
-def router_restart(src, dst):
+class router_restart:
     """Injector: crash/restart the policy guarding ``src -> dst``.
 
     Volatile policy state (token buckets, MTD drop records, conformance
@@ -90,31 +97,105 @@ def router_restart(src, dst):
     :meth:`~repro.core.router.FLocPolicy.restart`).
     """
 
-    def inject(engine, tick: int, rng: random.Random) -> None:
-        _target_policy(engine, src, dst).restart(tick)
+    def __init__(self, src, dst) -> None:
+        self.src = src
+        self.dst = dst
 
-    return inject
+    def __call__(self, engine, tick: int, rng: random.Random) -> None:
+        _target_policy(engine, self.src, self.dst).restart(tick)
 
 
-def state_corruption(src, dst, fraction: float = 0.5):
+class state_corruption:
     """Injector: the policy on ``src -> dst`` forgets a random ``fraction``
     of its volatile records (failed line card / partial memory loss)."""
 
-    def inject(engine, tick: int, rng: random.Random) -> None:
-        _target_policy(engine, src, dst).corrupt_state(fraction, rng)
+    def __init__(self, src, dst, fraction: float = 0.5) -> None:
+        self.src = src
+        self.dst = dst
+        self.fraction = fraction
 
-    return inject
+    def __call__(self, engine, tick: int, rng: random.Random) -> None:
+        _target_policy(engine, self.src, self.dst).corrupt_state(
+            self.fraction, rng
+        )
 
 
-def clock_jitter(src, dst, max_offset: int = 10):
+class clock_jitter:
     """Injector: shift the policy's measurement phase by a random offset
     in ``[-max_offset, max_offset]`` (NTP step / VM pause)."""
 
-    def inject(engine, tick: int, rng: random.Random) -> None:
-        offset = rng.randint(-max_offset, max_offset)
-        _target_policy(engine, src, dst).jitter_clock(offset)
+    def __init__(self, src, dst, max_offset: int = 10) -> None:
+        self.src = src
+        self.dst = dst
+        self.max_offset = max_offset
 
-    return inject
+    def __call__(self, engine, tick: int, rng: random.Random) -> None:
+        offset = rng.randint(-self.max_offset, self.max_offset)
+        _target_policy(engine, self.src, self.dst).jitter_clock(offset)
+
+
+class CounterCorruption:
+    """Injector: silently corrupt an internal accounting counter.
+
+    Unlike :class:`state_corruption` (which models honest state *loss*
+    the policy knows how to recover from), this models a silent bug — a
+    counter skewed without any behavioural signal.  Targets:
+
+    * ``"ledger"`` — skew the engine's packet-conservation ledger
+      (``packets_delivered``), breaking
+      created = delivered + dropped + in-flight;
+    * ``"tokens"`` — drive one FLoc group's token bucket negative.
+
+    The :mod:`repro.sanitize` strict mode must flag either within one
+    tick; with no sanitizer installed the run completes quietly with
+    subtly wrong numbers, which is the failure mode this exists to
+    demonstrate.
+    """
+
+    def __init__(self, src, dst, target: str = "ledger", skew: int = 7) -> None:
+        if target not in ("ledger", "tokens"):
+            raise ConfigError(
+                f"unknown corruption target {target!r}; "
+                f"choose 'ledger' or 'tokens'"
+            )
+        self.src = src
+        self.dst = dst
+        self.target = target
+        self.skew = skew
+
+    def __call__(self, engine, tick: int, rng: random.Random) -> None:
+        if self.target == "ledger":
+            engine.packets_delivered += self.skew
+            return
+        policy = _target_policy(engine, self.src, self.dst)
+        groups = getattr(policy, "groups", None)
+        if not groups:
+            raise SimulationError(
+                f"policy on {self.src!r}->{self.dst!r} has no token buckets "
+                f"to corrupt"
+            )
+        key = rng.choice(sorted(groups, key=repr))
+        groups[key].bucket.tokens = -abs(float(self.skew))
+
+
+class FluidCounterCorruption:
+    """Injector: drive a random slice of the fluid simulator's smoothed
+    send rates (the MTD analogue) negative — a silent accounting bug the
+    sanitizer's ``rate-nonnegative`` invariant must catch."""
+
+    def __init__(self, fraction: float = 0.1, skew: float = 5.0) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(
+                f"corruption fraction must be in (0, 1], got {fraction}"
+            )
+        self.fraction = fraction
+        self.skew = skew
+
+    def __call__(self, sim, tick: int, rng: random.Random) -> None:
+        n = max(1, int(sim.n_flows * self.fraction))
+        victims = rng.sample(range(sim.n_flows), min(n, sim.n_flows))
+        for idx in victims:
+            sim._rate_ewma[idx] = -abs(self.skew)
 
 
 class FluidLinkDegrade:
@@ -146,12 +227,13 @@ class FluidLinkDegrade:
             self._active = False
 
 
-def fluid_restart(warmup_ticks: int = 50):
+class fluid_restart:
     """Injector: restart the fluid simulator's target-link defense (wipe
     rate EWMAs, conformance state and the aggregation plan; FLoc degrades
     to neutral admission for ``warmup_ticks``)."""
 
-    def inject(sim, tick: int, rng: random.Random) -> None:
-        sim.restart_defense(tick, warmup_ticks=warmup_ticks)
+    def __init__(self, warmup_ticks: int = 50) -> None:
+        self.warmup_ticks = warmup_ticks
 
-    return inject
+    def __call__(self, sim, tick: int, rng: random.Random) -> None:
+        sim.restart_defense(tick, warmup_ticks=self.warmup_ticks)

@@ -20,6 +20,7 @@ experiments: :meth:`link_flap`, :meth:`router_restart`,
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -158,6 +159,18 @@ class FaultSchedule:
             name=f"clock-jitter {src}->{dst}",
         )
 
+    def counter_corruption(
+        self, src, dst, tick: int, target: str = "ledger", skew: int = 7
+    ) -> "FaultSchedule":
+        """Silently skew an accounting counter (see
+        :class:`~repro.faults.injectors.CounterCorruption`) — the bug
+        class the :mod:`repro.sanitize` strict mode exists to catch."""
+        return self.at(
+            tick,
+            _inj.CounterCorruption(src, dst, target=target, skew=skew),
+            name=f"counter-corrupt {src}->{dst} ({target})",
+        )
+
     # -- installation ---------------------------------------------------
     def install(self, host) -> "FaultSchedule":
         """Register the schedule as a tick hook on ``host``.
@@ -166,15 +179,23 @@ class FaultSchedule:
         ``spawn_rng(name)`` — both simulators do.  Installing the same
         schedule on several hosts is allowed (each gets its own RNG), but
         stateful injectors (:class:`~repro.faults.injectors.LinkFlap`)
-        must not be shared across hosts.
+        must not be shared across hosts.  The hook is a plain picklable
+        object, so a host checkpointed mid-run by :mod:`repro.runner`
+        resumes with the schedule (and its RNG position) intact.
         """
-        rng = host.spawn_rng("faults")
-
-        def hook(h, tick: int) -> None:
-            for event in self.events:
-                if event.fires_at(tick):
-                    event.injector(h, tick, rng)
-                    self.log.append((tick, event.name))
-
-        host.add_tick_hook(hook)
+        host.add_tick_hook(_InstalledSchedule(self, host.spawn_rng("faults")))
         return self
+
+
+@dataclass
+class _InstalledSchedule:
+    """One installation of a schedule on one host: the tick hook."""
+
+    schedule: "FaultSchedule"
+    rng: "random.Random"
+
+    def __call__(self, host, tick: int) -> None:
+        for event in self.schedule.events:
+            if event.fires_at(tick):
+                event.injector(host, tick, self.rng)
+                self.schedule.log.append((tick, event.name))

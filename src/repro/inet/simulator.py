@@ -310,57 +310,81 @@ class FluidSimulator:
         return admitted
 
     # ------------------------------------------------------------------
-    def run(
+    # stepwise run interface (crash-safe checkpointing: repro.runner
+    # pickles the simulator between step_run calls, so every piece of run
+    # state lives on self rather than in loop locals)
+    # ------------------------------------------------------------------
+    def begin_run(
         self,
         ticks: int = 400,
         warmup: int = 100,
         record_series: bool = False,
-    ) -> FluidResult:
-        """Simulate and return bandwidth shares at the target link."""
-        scn = self.scn
-        cap = scn.target_capacity
-        acc = np.zeros(self.n_flows, dtype=np.float64)
-        measured_ticks = 0
-        series = []
-        conf_interval = max(10, self.aggregation_interval // 2)
-        for tick in range(ticks):
-            for hook in self._tick_hooks:
-                hook(self, tick)
-            rates = self._send_rates()
-            self._rate_ewma += 0.1 * (rates - self._rate_ewma)
-            surv = self._upstream_survival(rates)
-            arrivals = rates * surv[self.origin]
-            if self.strategy == "nd":
-                admitted = self._admit_nd(arrivals)
-            elif self.strategy == "ff":
-                admitted = self._admit_ff(arrivals)
-            else:
-                admitted = self._admit_floc(arrivals, tick)
-                if tick % conf_interval == 0:
-                    self._update_conformance()
-            # TCP fluid update for legitimate flows
-            p_drop = 1.0 - np.divide(
-                admitted, rates, out=np.ones_like(rates), where=rates > 1e-12
-            )
-            p_drop = np.clip(p_drop, 0.0, 1.0)
-            legit = ~self.is_attack
-            w = self.w
-            dw = 1.0 / self.rtt - 0.5 * w * p_drop * rates
-            w = np.where(legit, np.clip(w + dw, 0.5, self.w_max), w)
-            self.w = w
-            if tick >= warmup:
-                acc += admitted
-                measured_ticks += 1
-                if record_series:
-                    series.append(
-                        (
-                            tick,
-                            float(admitted[self.cats == 0].sum() / cap),
-                            float(admitted[self.cats == 1].sum() / cap),
-                            float(admitted[self.cats == 2].sum() / cap),
-                        )
-                    )
+    ) -> None:
+        """Initialise accumulators for a ``ticks``-long measured run."""
+        if ticks < 0:
+            raise ConfigError(f"cannot run a negative tick count, got {ticks}")
+        self._run_ticks = ticks
+        self._run_warmup = warmup
+        self._run_record_series = record_series
+        self._run_tick = 0
+        self._acc = np.zeros(self.n_flows, dtype=np.float64)
+        self._measured_ticks = 0
+        self._series: List[Tuple[int, float, float, float]] = []
+        self._conf_interval = max(10, self.aggregation_interval // 2)
+        self._last_admitted: Optional[np.ndarray] = None
 
+    def step_run(self) -> bool:
+        """Advance one tick; returns ``False`` once the run is complete."""
+        if self._run_tick >= self._run_ticks:
+            return False
+        tick = self._run_tick
+        cap = self.scn.target_capacity
+        for hook in self._tick_hooks:
+            hook(self, tick)
+        rates = self._send_rates()
+        self._rate_ewma += 0.1 * (rates - self._rate_ewma)
+        surv = self._upstream_survival(rates)
+        arrivals = rates * surv[self.origin]
+        if self.strategy == "nd":
+            admitted = self._admit_nd(arrivals)
+        elif self.strategy == "ff":
+            admitted = self._admit_ff(arrivals)
+        else:
+            admitted = self._admit_floc(arrivals, tick)
+            if tick % self._conf_interval == 0:
+                self._update_conformance()
+        # TCP fluid update for legitimate flows
+        p_drop = 1.0 - np.divide(
+            admitted, rates, out=np.ones_like(rates), where=rates > 1e-12
+        )
+        p_drop = np.clip(p_drop, 0.0, 1.0)
+        legit = ~self.is_attack
+        w = self.w
+        dw = 1.0 / self.rtt - 0.5 * w * p_drop * rates
+        w = np.where(legit, np.clip(w + dw, 0.5, self.w_max), w)
+        self.w = w
+        self._last_admitted = admitted
+        if tick >= self._run_warmup:
+            self._acc += admitted
+            self._measured_ticks += 1
+            if self._run_record_series:
+                self._series.append(
+                    (
+                        tick,
+                        float(admitted[self.cats == 0].sum() / cap),
+                        float(admitted[self.cats == 1].sum() / cap),
+                        float(admitted[self.cats == 2].sum() / cap),
+                    )
+                )
+        self._run_tick = tick + 1
+        return self._run_tick < self._run_ticks
+
+    def finish_run(self) -> FluidResult:
+        """Assemble the :class:`FluidResult` for a completed (or salvaged
+        partial) run."""
+        cap = self.scn.target_capacity
+        acc = self._acc
+        measured_ticks = self._measured_ticks
         budget = cap * max(1, measured_ticks)
         shares = {}
         per_flow_mean = {}
@@ -382,8 +406,20 @@ class FluidSimulator:
             per_flow_mean=per_flow_mean,
             n_flows=n_flows,
             n_groups=self.n_groups,
-            series=series,
+            series=self._series,
         )
+
+    def run(
+        self,
+        ticks: int = 400,
+        warmup: int = 100,
+        record_series: bool = False,
+    ) -> FluidResult:
+        """Simulate and return bandwidth shares at the target link."""
+        self.begin_run(ticks, warmup, record_series)
+        while self.step_run():
+            pass
+        return self.finish_run()
 
     def _update_conformance(self) -> None:
         """Fold the current flagging into per-path conformance."""

@@ -172,6 +172,11 @@ class Engine:
         self._scheduled: Dict[int, List] = {}
         self._started = False
         self._hooks_per_tick: List[Callable[["Engine", int], None]] = []
+        # conservation ledger (see repro.sanitize): every packet handed to
+        # emit() must eventually be delivered or counted in some link's
+        # dropped_total, with the difference in flight
+        self.packets_emitted = 0
+        self.packets_delivered = 0
 
     # ------------------------------------------------------------------
     # setup
@@ -255,6 +260,7 @@ class Engine:
     # ------------------------------------------------------------------
     def emit(self, pkt: Packet) -> None:
         """Inject ``pkt`` at the first link of its route (current tick)."""
+        self.packets_emitted += 1
         route = pkt.route
         link = self.topology.link(route[pkt.hop], route[pkt.hop + 1])
         if not link.up:
@@ -472,6 +478,23 @@ class Engine:
             mon.on_drop(pkt, self.tick)
 
     # ------------------------------------------------------------------
+    # accounting (used by repro.sanitize)
+    # ------------------------------------------------------------------
+    def in_flight_count(self) -> int:
+        """Packets currently inside the network: queued or arriving on any
+        link, scheduled on a long-haul hop, or awaiting delivery."""
+        count = len(self._deliveries) + len(self._deliveries_next)
+        for link in self.topology.links():
+            count += len(link.queue) + len(link.arrivals) + len(link.arrivals_next)
+        for pkts in self._scheduled.values():
+            count += len(pkts)
+        return count
+
+    def total_link_drops(self) -> int:
+        """Packets dropped on any link since the simulation started."""
+        return sum(link.dropped_total for link in self.topology.links())
+
+    # ------------------------------------------------------------------
     # fault support (used by repro.faults injectors)
     # ------------------------------------------------------------------
     def fail_link(self, src, dst) -> Link:
@@ -529,6 +552,7 @@ class Engine:
     # end-host behaviour
     # ------------------------------------------------------------------
     def _deliver(self, pkt: Packet, tick: int) -> None:
+        self.packets_delivered += 1
         flow = self.flows.get(pkt.flow_id)
         if flow is None:
             raise SimulationError(f"delivery for unknown flow {pkt.flow_id}")

@@ -1,0 +1,222 @@
+"""Crash-safe checkpoint storage for supervised experiment runs.
+
+A :class:`CheckpointStore` owns one directory and keeps three kinds of
+entries, all pickled Python objects:
+
+* ``unit`` — the finished result of one experiment unit (e.g. one
+  (scheme, attack-rate) cell of a figure sweep).  A resumed job skips
+  every unit already stored.
+* ``state`` — a mid-run simulator snapshot (a pickled
+  :class:`~repro.runner.resumable.EngineRun`/``FluidRun``), written
+  periodically so a kill mid-unit loses at most one checkpoint interval.
+* ``salvage`` — partial results rescued from a failed or interrupted
+  job, clearly segregated from trustworthy ``unit`` entries.
+
+Crash safety is torn-write-proof by construction: every file is written
+to a temporary name in the same directory, fsynced, then atomically
+``os.replace``d into place, and only *then* recorded (again atomically)
+in ``MANIFEST.json`` together with its SHA-256.  A crash at any point
+leaves either the old manifest (the new file is ignored as unmanifested
+garbage) or the new one (the file is complete and verified on load).  A
+manifested file whose digest no longer matches raises
+:class:`~repro.errors.CheckpointError` — silent corruption never flows
+into results.
+
+The manifest also carries a *job fingerprint* (figure name + settings):
+resuming with different settings than the checkpoints were produced
+under would silently mix incompatible results, so :meth:`check_job`
+fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointError
+
+KINDS = ("unit", "state", "salvage")
+
+_MANIFEST = "MANIFEST.json"
+
+
+def _slug(name: str) -> str:
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "unit"
+    digest = hashlib.sha256(name.encode()).hexdigest()[:8]
+    return f"{safe[:80]}-{digest}"
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CheckpointStore:
+    """Atomic, manifest-verified pickle storage rooted at one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._manifest: Dict[str, Any] = {"version": 1, "job": None, "entries": {}}
+        self._read_manifest()
+
+    # -- manifest handling ----------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST)
+
+    def _read_manifest(self) -> None:
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise CheckpointError(
+                f"malformed checkpoint manifest {path}: no entries table"
+            )
+        self._manifest = data
+
+    def _write_manifest(self) -> None:
+        blob = json.dumps(self._manifest, indent=2, sort_keys=True)
+        _atomic_write(self._manifest_path(), blob.encode())
+
+    # -- job fingerprint -------------------------------------------------
+    def set_job(self, fingerprint: Dict[str, Any]) -> None:
+        """Record what job these checkpoints belong to."""
+        self._manifest["job"] = fingerprint
+        self._write_manifest()
+
+    @property
+    def job(self) -> Optional[Dict[str, Any]]:
+        return self._manifest.get("job")
+
+    def check_job(self, fingerprint: Dict[str, Any]) -> None:
+        """Refuse to resume under a different job configuration."""
+        stored = self.job
+        if stored is None:
+            self.set_job(fingerprint)
+            return
+        if stored != fingerprint:
+            raise CheckpointError(
+                f"checkpoint dir {self.root} belongs to a different job: "
+                f"stored {stored!r}, requested {fingerprint!r}; use a fresh "
+                f"--checkpoint-dir or drop --resume to start over"
+            )
+
+    # -- entries ---------------------------------------------------------
+    def _key(self, kind: str, name: str) -> str:
+        if kind not in KINDS:
+            raise CheckpointError(
+                f"unknown checkpoint kind {kind!r}; expected one of {KINDS}"
+            )
+        return f"{kind}/{name}"
+
+    def save(self, kind: str, name: str, obj: Any) -> str:
+        """Atomically pickle ``obj``; returns the file path."""
+        key = self._key(kind, name)
+        try:
+            blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                f"cannot checkpoint {key}: object is not picklable ({exc})"
+            ) from exc
+        filename = f"{kind}-{_slug(name)}.pkl"
+        path = os.path.join(self.root, filename)
+        _atomic_write(path, blob)
+        self._manifest["entries"][key] = {
+            "kind": kind,
+            "name": name,
+            "file": filename,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "bytes": len(blob),
+        }
+        self._write_manifest()
+        return path
+
+    def has(self, kind: str, name: str) -> bool:
+        entry = self._manifest["entries"].get(self._key(kind, name))
+        if entry is None:
+            return False
+        return os.path.exists(os.path.join(self.root, entry["file"]))
+
+    def load(self, kind: str, name: str) -> Any:
+        """Load and integrity-check one entry (KeyError if absent)."""
+        key = self._key(kind, name)
+        entry = self._manifest["entries"].get(key)
+        if entry is None:
+            raise KeyError(key)
+        path = os.path.join(self.root, entry["file"])
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise CheckpointError(
+                f"checkpoint file for {key} vanished: {exc}"
+            ) from exc
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != entry["sha256"]:
+            raise CheckpointError(
+                f"checkpoint {key} is corrupt: sha256 {digest} does not "
+                f"match manifest {entry['sha256']} ({path})"
+            )
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {key} cannot be unpickled: {exc}"
+            ) from exc
+
+    def delete(self, kind: str, name: str) -> None:
+        key = self._key(kind, name)
+        entry = self._manifest["entries"].pop(key, None)
+        if entry is None:
+            return
+        self._write_manifest()
+        try:
+            os.unlink(os.path.join(self.root, entry["file"]))
+        except OSError:
+            pass
+
+    def names(self, kind: str) -> List[str]:
+        """Names of all stored entries of one kind, insertion-ordered."""
+        if kind not in KINDS:
+            raise CheckpointError(
+                f"unknown checkpoint kind {kind!r}; expected one of {KINDS}"
+            )
+        return [
+            entry["name"]
+            for entry in self._manifest["entries"].values()
+            if entry["kind"] == kind
+        ]
+
+    def reset(self) -> None:
+        """Drop every entry and the job fingerprint (files included)."""
+        for entry in list(self._manifest["entries"].values()):
+            try:
+                os.unlink(os.path.join(self.root, entry["file"]))
+            except OSError:
+                pass
+        self._manifest = {"version": 1, "job": None, "entries": {}}
+        self._write_manifest()

@@ -1,0 +1,19 @@
+"""Runtime invariant sanitizer (see :mod:`repro.sanitize.invariants`)."""
+
+from .invariants import (
+    MODES,
+    EngineSanitizer,
+    FluidSanitizer,
+    SanitizerReport,
+    Violation,
+    install_sanitizer,
+)
+
+__all__ = [
+    "MODES",
+    "EngineSanitizer",
+    "FluidSanitizer",
+    "SanitizerReport",
+    "Violation",
+    "install_sanitizer",
+]

@@ -1,0 +1,131 @@
+"""Kill/resume determinism for tick-level checkpointed runs.
+
+The contract under test: a run interrupted at an arbitrary checkpoint
+boundary and resumed from its pickled snapshot produces *bit-identical*
+results to an uninterrupted run — for both the packet engine and the
+fluid simulator.
+"""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.errors import Interrupted
+from repro.inet.scenarios import build_internet_scenario
+from repro.inet.simulator import FluidSimulator
+from repro.runner import CheckpointStore, EngineRun, FluidRun, run_checkpointed
+from repro.traffic.scenarios import build_tree_scenario
+
+
+class FlipAfter:
+    """Stand-in shutdown flag that trips after N polls (no real signals)."""
+
+    def __init__(self, polls: int) -> None:
+        self.polls = polls
+        self.seen = 0
+        self.signum = 15
+
+    @property
+    def requested(self) -> bool:
+        self.seen += 1
+        return self.seen > self.polls
+
+    def raise_if_requested(self, context: str = "") -> None:
+        raise Interrupted(f"simulated SIGTERM during {context}")
+
+
+def build_engine_run():
+    scenario = build_tree_scenario(
+        scale_factor=0.05, attack_kind="cbr", attack_rate_mbps=2.0, seed=3
+    )
+    scenario.attach_policy(FLocPolicy(FLocConfig(s_max=25)))
+    monitor = scenario.add_target_monitor(start_seconds=1.0)
+    total = scenario.units.seconds_to_ticks(3.0)
+    return EngineRun(payload=monitor, engine=scenario.engine, total_ticks=total)
+
+
+def finalize_engine(run):
+    monitor = run.payload
+    return (
+        run.engine.tick,
+        run.engine.packets_emitted,
+        run.engine.packets_delivered,
+        sorted(monitor.service_counts.items()),
+        sorted(monitor.drop_counts.items()),
+    )
+
+
+def build_fluid_run():
+    scenario = build_internet_scenario(
+        variant="f-root", n_as=120, n_legit_sources=300, n_legit_ases=30,
+        n_bots=2_000, target_capacity=200.0, seed=7,
+    )
+    sim = FluidSimulator(scenario, strategy="floc", s_max=40, seed=7)
+    return FluidRun(sim, ticks=120, warmup=40)
+
+
+def finalize_fluid(run):
+    result = run.sim.finish_run()
+    return (result.shares, result.utilization)
+
+
+@pytest.mark.parametrize(
+    "build,finalize",
+    [(build_engine_run, finalize_engine), (build_fluid_run, finalize_fluid)],
+    ids=["packet-engine", "fluid-simulator"],
+)
+def test_kill_resume_bit_identical(tmp_path, build, finalize):
+    reference = run_checkpointed(
+        None, "ref", build, finalize, checkpoint_interval=1_000_000
+    )
+
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(Interrupted):
+        run_checkpointed(
+            store, "job", build, finalize,
+            checkpoint_interval=25, shutdown=FlipAfter(polls=2),
+        )
+    # the kill left a mid-run snapshot behind
+    assert store.has("state", "job")
+
+    resumed = run_checkpointed(
+        store, "job", build, finalize, checkpoint_interval=25
+    )
+    assert resumed == reference
+    # completed runs clean up their state snapshot
+    assert not store.has("state", "job")
+
+
+def test_resume_skips_build(tmp_path):
+    store = CheckpointStore(str(tmp_path))
+    with pytest.raises(Interrupted):
+        run_checkpointed(
+            store, "job", build_fluid_run, finalize_fluid,
+            checkpoint_interval=30, shutdown=FlipAfter(polls=1),
+        )
+
+    def exploding_build():
+        raise AssertionError("resume must load the snapshot, not rebuild")
+
+    result = run_checkpointed(
+        store, "job", exploding_build, finalize_fluid, checkpoint_interval=30
+    )
+    assert result[1] > 0  # utilization from the resumed simulator
+
+
+def test_segmented_equals_monolithic_fluid():
+    # FluidRun advancing in small segments == one uninterrupted sim.run()
+    ref = run_checkpointed(
+        None, "a", build_fluid_run, finalize_fluid, checkpoint_interval=7
+    )
+    mono = run_checkpointed(
+        None, "b", build_fluid_run, finalize_fluid, checkpoint_interval=10_000
+    )
+    assert ref == mono
+
+
+def test_checkpoint_interval_validated(tmp_path):
+    with pytest.raises(ValueError):
+        run_checkpointed(
+            None, "x", build_fluid_run, finalize_fluid, checkpoint_interval=0
+        )

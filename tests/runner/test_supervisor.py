@@ -1,0 +1,184 @@
+"""SupervisedRunner: retries, deadlines, shutdown, salvage."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeadlineExceeded,
+    InvariantViolation,
+)
+from repro.runner import (
+    CheckpointStore,
+    GracefulShutdown,
+    RetryPolicy,
+    SupervisedRunner,
+    Watchdog,
+)
+
+
+def make_runner(tmp_path=None, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_retries=2, base_delay=0.0))
+    kwargs.setdefault("sleep", lambda seconds: None)
+    if tmp_path is not None:
+        kwargs.setdefault("store", CheckpointStore(str(tmp_path)))
+    return SupervisedRunner(**kwargs)
+
+
+class TestRetry:
+    def test_transient_failure_retried(self):
+        calls = []
+
+        def flaky(ctx):
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        report = make_runner().run_units([("u", flaky)])
+        assert report.status == "ok"
+        assert report.results["u"] == "ok"
+        assert report.outcomes[0].attempts == 3
+
+    def test_retries_bounded(self):
+        def always_fails(ctx):
+            raise RuntimeError("permanent")
+
+        report = make_runner().run_units([("u", always_fails)])
+        assert report.status == "failed"
+        assert report.outcomes[0].attempts == 3  # initial + 2 retries
+        assert "RuntimeError" in report.outcomes[0].error
+
+    @pytest.mark.parametrize("exc", [
+        ConfigError("bad"),
+        InvariantViolation("conservation", 5, "off by 7"),
+    ])
+    def test_deterministic_errors_not_retried(self, exc):
+        attempts = []
+
+        def fails(ctx):
+            attempts.append(1)
+            raise exc
+
+        report = make_runner().run_units([("u", fails)])
+        assert report.outcomes[0].status == "failed"
+        assert len(attempts) == 1
+
+    def test_backoff_is_deterministic_and_jittered(self):
+        policy = RetryPolicy(max_retries=3, base_delay=1.0, seed=7)
+        a = policy.backoff("unit-x", 1)
+        assert a == policy.backoff("unit-x", 1)  # reproducible
+        assert a != policy.backoff("unit-y", 1)  # decorrelated
+        assert 0.5 <= a < 1.5
+        assert policy.backoff("unit-x", 2) <= 2 * 1.5
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(max_retries=9, base_delay=1.0, max_delay=4.0)
+        assert policy.backoff("u", 9) <= 4.0 * 1.5
+
+
+class TestPartialSalvage:
+    def test_one_failure_does_not_sink_the_job(self):
+        def bad(ctx):
+            raise ConfigError("nope")
+
+        report = make_runner().run_units(
+            [("good1", lambda ctx: 1), ("bad", bad), ("good2", lambda ctx: 2)]
+        )
+        assert report.status == "partial"
+        assert report.completed() == ["good1", "good2"]
+        assert report.failed() == ["bad"]
+        assert report.results == {"good1": 1, "good2": 2}
+
+    def test_all_failures_mean_failed(self):
+        def bad(ctx):
+            raise ConfigError("nope")
+
+        report = make_runner().run_units([("a", bad), ("b", bad)])
+        assert report.status == "failed"
+
+
+class TestResume:
+    def test_completed_units_skipped(self, tmp_path):
+        calls = []
+
+        def unit(ctx):
+            calls.append(ctx.name)
+            return ctx.name.upper()
+
+        units = [("a", unit), ("b", unit)]
+        first = make_runner(tmp_path).run_units(units, {"fig": "x"})
+        assert first.status == "ok" and calls == ["a", "b"]
+
+        second = make_runner(tmp_path).run_units(units, {"fig": "x"})
+        assert second.status == "ok"
+        assert calls == ["a", "b"]  # nothing re-ran
+        assert [o.status for o in second.outcomes] == ["resumed", "resumed"]
+        assert second.results == first.results
+
+    def test_fingerprint_mismatch_refuses(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        make_runner(tmp_path).run_units([("a", lambda ctx: 1)], {"seed": 1})
+        with pytest.raises(CheckpointError, match="different job"):
+            make_runner(tmp_path).run_units([("a", lambda ctx: 1)], {"seed": 2})
+
+
+class TestWatchdog:
+    def test_deadline_between_units(self):
+        clock = {"t": 0.0}
+
+        def fake_clock():
+            return clock["t"]
+
+        def slow(ctx):
+            clock["t"] += 10.0
+            return 1
+
+        report = SupervisedRunner(
+            deadline_seconds=15.0,
+            clock=fake_clock,
+            sleep=lambda s: None,
+        ).run_units([("a", slow), ("b", slow), ("c", slow)])
+        assert report.status == "deadline"
+        assert report.completed() == ["a", "b"]  # c never started
+        assert "c" not in report.results
+
+    def test_watchdog_check_raises_after_expiry(self):
+        clock = {"t": 0.0}
+        dog = Watchdog(5.0, clock=lambda: clock["t"])
+        dog.check()
+        clock["t"] = 6.0
+        assert dog.expired
+        with pytest.raises(DeadlineExceeded):
+            dog.check()
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            Watchdog(0.0)
+
+
+class TestShutdown:
+    def test_requested_flag_stops_between_units(self, tmp_path):
+        ran = []
+
+        def unit(ctx):
+            ran.append(ctx.name)
+            # simulate a signal arriving while the first unit runs
+            ctx.shutdown.requested = True
+            ctx.shutdown.signum = 15
+            return 1
+
+        report = make_runner(tmp_path).run_units([("a", unit), ("b", unit)])
+        assert report.status == "interrupted"
+        assert ran == ["a"]
+        assert report.completed() == ["a"]
+        # the completed unit's result was checkpointed before the stop
+        assert CheckpointStore(str(tmp_path)).load("unit", "a") == 1
+
+    def test_handlers_restored_on_exit(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
