@@ -22,7 +22,7 @@ def jain_index(values: Sequence[float]) -> float:
         return 1.0
     total = sum(values)
     squares = sum(v * v for v in values)
-    if squares == 0.0:
+    if squares <= 0.0:
         return 1.0
     return (total * total) / (len(values) * squares)
 

@@ -1,0 +1,70 @@
+"""flocheck: build-time static analysis for the FLoc reproduction.
+
+The runtime sanitizer (:mod:`repro.sanitize`) can only *witness* a
+non-reproducible run after hours of simulation; this package *proves* the
+absence of whole hazard classes before a single tick executes.  It parses
+the ``repro`` tree with :mod:`ast` and runs a registry of pluggable rules,
+each emitting structured diagnostics (rule id, severity, file:line, fix
+hint).
+
+Rule families
+-------------
+``FLC001``
+    Determinism: wall-clock reads and unseeded global RNG use inside the
+    simulation packages (``repro.net``, ``repro.inet``, ``repro.core``,
+    ``repro.traffic``).
+``FLC002``
+    Checkpoint/pickle safety: lambdas or nested closures installed into
+    state reachable from checkpointed objects (``EngineRun``/``FluidRun``
+    wrappers, ``SupervisedRunner``).
+``FLC003``
+    Float equality on rates, tokens, shares, and other continuous
+    quantities.
+``FLC004``
+    Units consistency: additive arithmetic or comparisons between
+    identifiers carrying mismatched unit suffixes (Mbps vs packets/tick,
+    seconds vs ticks, ...), keyed off the :mod:`repro.units` conventions.
+``FLC005``
+    Mutable default arguments and aliased shared buffers in constructors.
+``FLC006``
+    Config drift: fields of ``FLocConfig``/``FunctionalSettings``
+    cross-checked against the CLI flags in ``repro.cli`` and the
+    configuration tables in ``docs/architecture.md``.
+
+Suppression and baselines
+-------------------------
+A finding on a line carrying ``# flocheck: disable=FLC001`` (comma lists
+and ``disable=all`` work too) is suppressed at the source.  Findings that
+predate the checker are *grandfathered* in a baseline file
+(``baseline.json`` next to this package): they do not fail the build, but
+a baseline entry that no longer matches any finding is itself an error
+under ``--strict`` — the baseline can only shrink, never drift.
+
+Entry points
+------------
+``python -m repro check [--strict]`` from the CLI, or programmatically::
+
+    from repro.check import Checker
+    report = Checker.for_package().run()
+    for diag in report.new_findings:
+        print(diag.format())
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .diagnostics import Diagnostic, Severity
+from .engine import Checker, CheckReport, SourceModule
+from .rules import Rule, all_rules, get_rule, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Checker",
+    "CheckReport",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "all_rules",
+    "get_rule",
+    "rule_catalog",
+]

@@ -1,0 +1,78 @@
+"""Small AST helpers shared by the flocheck rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to ``"a.b.c"``; None if the
+    chain contains anything else (calls, subscripts, ...)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local binding names to the dotted names they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from random import random as rnd`` -> ``{"rnd": "random.random"}``;
+    plain ``import time`` -> ``{"time": "time"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never shadow stdlib modules
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name of a callee with its leading import alias expanded."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    full_head = aliases.get(head, head)
+    return f"{full_head}.{rest}" if rest else full_head
+
+
+def terminal_identifier(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a name/attribute/call expression.
+
+    ``self.lambda_rate`` -> ``lambda_rate``; ``group.bucket.tokens`` ->
+    ``tokens``; calls resolve through their callee (``x.rate()`` ->
+    ``rate``).  Used by the naming-convention rules (FLC003/FLC004).
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_constant_name(node: ast.AST) -> bool:
+    """Whether the expression is an ALL_CAPS module constant reference
+    (sentinel values like ``INFINITE_MTD`` — exact comparison against a
+    sentinel is well-defined and exempt from FLC003)."""
+    name = terminal_identifier(node)
+    return name is not None and name.isupper()

@@ -1,0 +1,170 @@
+"""Baseline file support: grandfathered findings that must not drift.
+
+A baseline entry records one pre-existing finding by its
+line-number-independent identity ``(rule, path, line_content)`` plus a
+required human justification.  Matching is exact-count: the tree must
+contain *exactly* ``count`` findings with that identity — fewer means the
+baseline is stale (the finding was fixed; shrink the baseline), more
+means new findings (fail).  Silent drift in either direction is
+impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigError
+from .diagnostics import Diagnostic
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding identity."""
+
+    rule: str
+    path: str
+    line_content: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.line_content)
+
+    def describe(self) -> str:
+        return f"{self.path}: {self.rule} x{self.count} on {self.line_content!r}"
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching current findings against a baseline."""
+
+    new: List[Diagnostic] = field(default_factory=list)
+    baselined: List[Diagnostic] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """An ordered collection of :class:`BaselineEntry` with JSON I/O."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        seen: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        for entry in self.entries:
+            if entry.count < 1:
+                raise ConfigError(
+                    f"baseline entry count must be >= 1: {entry.describe()}"
+                )
+            if entry.key in seen:
+                raise ConfigError(
+                    f"duplicate baseline entry: {entry.describe()}; merge "
+                    f"the counts into one entry"
+                )
+            seen[entry.key] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline file {path}: {exc}") from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ConfigError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version')!r}; expected {_FORMAT_VERSION}"
+            )
+        entries = []
+        for raw in payload.get("findings", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        line_content=raw["line_content"],
+                        count=int(raw.get("count", 1)),
+                        justification=raw.get("justification", ""),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"malformed baseline entry in {path}: {raw!r}"
+                ) from exc
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "line_content": e.line_content,
+                    "count": e.count,
+                    "justification": e.justification,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.line_content)
+                )
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Diagnostic],
+        justification: str = "grandfathered by --update-baseline",
+    ) -> "Baseline":
+        """Build a baseline accepting exactly the given findings."""
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for diag in findings:
+            counts[diag.baseline_key] = counts.get(diag.baseline_key, 0) + 1
+        return cls(
+            BaselineEntry(
+                rule=rule,
+                path=path,
+                line_content=content,
+                count=count,
+                justification=justification,
+            )
+            for (rule, path, content), count in counts.items()
+        )
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def match(self, findings: Iterable[Diagnostic]) -> MatchResult:
+        """Split findings into new vs baselined; surface stale entries."""
+        budget: Dict[Tuple[str, str, str], int] = {
+            entry.key: entry.count for entry in self.entries
+        }
+        result = MatchResult()
+        for diag in findings:
+            remaining = budget.get(diag.baseline_key, 0)
+            if remaining > 0:
+                budget[diag.baseline_key] = remaining - 1
+                result.baselined.append(diag)
+            else:
+                result.new.append(diag)
+        for entry in self.entries:
+            if budget.get(entry.key, 0) > 0:
+                result.stale.append(entry)
+        return result

@@ -1,0 +1,55 @@
+"""Structured diagnostics emitted by flocheck rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break determinism, resumability, or correctness
+    outright; ``WARNING`` findings are hazards that need a human look.
+    Both fail a ``--strict`` run unless baselined or suppressed.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, location, message, and a fix hint.
+
+    ``line_content`` is the stripped source line the finding sits on; the
+    baseline matches findings by ``(rule_id, path, line_content)`` so
+    entries survive unrelated edits that shift line numbers.
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str  # repo-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    line_content: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line-number independent)."""
+        return (self.rule_id, self.path, self.line_content)
+
+    def format(self, show_hint: bool = True) -> str:
+        """Render ``path:line:col: RULE severity: message``."""
+        text = (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

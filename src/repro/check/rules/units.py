@@ -1,0 +1,103 @@
+"""FLC004 — units consistency via identifier suffix dimensions.
+
+The simulation has two unit systems (see :mod:`repro.units`): the
+tick/packet world the engine runs in, and the seconds/Mbps world scenario
+definitions are written in.  The codebase's naming convention carries the
+dimension in the identifier suffix (``attack_rate_mbps``,
+``warmup_seconds``, ``window_ticks``, ``packet_bytes``, ``pkts_per_tick``),
+and conversions go through ``UnitScale``.
+
+This rule is a lightweight dimensional check over that convention: adding,
+subtracting, or ordering two identifiers whose suffixes resolve to
+*different* dimensions is flagged (``warmup_seconds + measure_ticks``
+is a bug no test will catch until a figure row is silently wrong).
+Multiplication and division are exempt — they legitimately combine
+dimensions (``mbps * seconds``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import terminal_identifier
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+#: Suffix -> dimension class, longest suffix wins.  Keyed off the
+#: conventions of :mod:`repro.units` (tick/packet vs seconds/Mbps worlds).
+SUFFIX_DIMENSIONS = (
+    ("pkts_per_tick", "rate[pkt/tick]"),
+    ("per_tick", "rate[pkt/tick]"),
+    ("pkts_per_second", "rate[pkt/s]"),
+    ("mbps", "rate[Mbit/s]"),
+    ("bps", "rate[bit/s]"),
+    ("megabytes", "volume[MB]"),
+    ("bytes", "volume[B]"),
+    ("bits", "volume[bit]"),
+    ("packets", "volume[pkt]"),
+    ("pkts", "volume[pkt]"),
+    ("seconds", "time[s]"),
+    ("secs", "time[s]"),
+    ("ticks", "time[tick]"),
+)
+
+
+def dimension_of(name: Optional[str]) -> Optional[str]:
+    """Dimension class of an identifier, from its unit suffix."""
+    if name is None:
+        return None
+    lowered = name.lower()
+    for suffix, dim in SUFFIX_DIMENSIONS:
+        if lowered == suffix or lowered.endswith("_" + suffix):
+            return dim
+    return None
+
+
+def _operand_dimension(node: ast.AST) -> Optional[str]:
+    return dimension_of(terminal_identifier(node))
+
+
+@register
+class UnitsConsistencyRule(Rule):
+    rule_id = "FLC004"
+    description = (
+        "additive arithmetic or comparison between identifiers with "
+        "mismatched unit suffixes (Mbps vs pkts/tick, seconds vs ticks)"
+    )
+    scope = ("repro",)
+
+    def check(self, module) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(
+                    module, node, node.left, node.right, "arithmetic"
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(
+                        module, node, left, right, "comparison"
+                    )
+
+    def _check_pair(
+        self, module, node: ast.AST, left: ast.AST, right: ast.AST, kind: str
+    ) -> Iterator[Diagnostic]:
+        dim_l = _operand_dimension(left)
+        dim_r = _operand_dimension(right)
+        if dim_l is None or dim_r is None or dim_l == dim_r:
+            return
+        name_l = terminal_identifier(left)
+        name_r = terminal_identifier(right)
+        yield self.diagnostic(
+            module,
+            node.lineno,
+            node.col_offset,
+            f"units mismatch in {kind}: {name_l} is {dim_l} but "
+            f"{name_r} is {dim_r}",
+            hint="convert through repro.units.UnitScale "
+            "(seconds_to_ticks, mbps_to_pkts_per_tick, ...) before "
+            "combining",
+        )

@@ -72,6 +72,15 @@ def _settings(args) -> FunctionalSettings:
     )
 
 
+def _runner_log(message: str) -> None:
+    """Log sink for the supervised runner.
+
+    Module-level (not a lambda) so runner state holding the sink stays
+    picklable across checkpoints.
+    """
+    sys.stderr.write(f"[runner] {message}\n")
+
+
 def _emit(args, name: str, headers, rows, title: str) -> None:
     """Print a result table; optionally mirror it to ``--csv DIR``."""
     sys.stdout.write(format_table(headers, rows, title=title))
@@ -108,7 +117,7 @@ def _run_figure(args) -> int:
         deadline_seconds=args.deadline,
         retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
         sanitize=settings.sanitize,
-        log=lambda message: sys.stderr.write(f"[runner] {message}\n"),
+        log=_runner_log,
     )
     report = runner.run_units(job.units, job.fingerprint)
     output = job.finalize(report.results)
@@ -164,6 +173,46 @@ def _quickstart(args) -> int:
     return 0
 
 
+def _check(args) -> int:
+    from .check import Baseline, Checker, rule_catalog
+    from .check.engine import DEFAULT_BASELINE
+
+    if args.list_rules:
+        rows = [[rid, sev, desc] for rid, sev, desc in rule_catalog()]
+        sys.stdout.write(format_table(["rule", "severity", "description"], rows))
+        sys.stdout.write("\n")
+        return 0
+
+    baseline_path = args.baseline or str(DEFAULT_BASELINE)
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    checker = Checker.for_package(baseline=baseline)
+
+    if args.update_baseline:
+        report = checker.run(args.paths or None)
+        findings = report.new_findings + report.baselined
+        Baseline.from_findings(findings).save(baseline_path)
+        sys.stdout.write(
+            f"wrote {len(findings)} finding(s) to {baseline_path}; "
+            f"edit in justifications\n"
+        )
+        return 0
+
+    report = checker.run(args.paths or None)
+    for diag in report.new_findings:
+        sys.stdout.write(diag.format() + "\n")
+    if args.strict:
+        for entry in report.stale_baseline:
+            sys.stdout.write(
+                f"stale baseline entry (finding fixed? remove it): "
+                f"{entry.describe()}\n"
+            )
+    sys.stdout.write(report.summary() + "\n")
+    failed = bool(report.new_findings) or (
+        args.strict and bool(report.stale_baseline)
+    )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -206,6 +255,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
     _add_common(quick)
+
+    check = sub.add_parser(
+        "check", help="run the flocheck static-analysis rules"
+    )
+    check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories under the repro package to check "
+             "(default: the whole package)",
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries (the baseline can only "
+             "shrink, never drift); this is the CI mode",
+    )
+    check.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file of grandfathered findings "
+             "(default: the one shipped with repro.check)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept exactly the current findings "
+             "(edit in justifications afterwards)",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
     return parser
 
 
@@ -231,6 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _run_figure(args)
+        if args.command == "check":
+            return _check(args)
         return _quickstart(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

@@ -214,7 +214,7 @@ class _LegitUnit:
         flows: float,
         conformance: float,
         suffix: PathId = (),
-    ):
+    ) -> None:
         self.paths = paths
         self.flows = flows
         self.conformance = conformance
@@ -310,7 +310,7 @@ def aggregate_legitimate_paths(
         rest = [u for u in units if id(u) not in kept_ids]
         return [merged] + rest
 
-    def merge_at(node) -> List[_LegitUnit]:
+    def merge_at(node: PathTreeNode) -> List[_LegitUnit]:
         # gather units from children (recursively merged) and own leaves;
         # unmerged units propagate upward so every ancestor gets a chance
         units: List[_LegitUnit] = []

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Tuple
+from typing import Hashable, Optional, Tuple
 
 from .pathid import PathId
 
@@ -28,7 +28,7 @@ from .pathid import PathId
 _DIGEST_BYTES = 8
 
 
-def _encode(*parts) -> bytes:
+def _encode(*parts: object) -> bytes:
     return "|".join(str(p) for p in parts).encode()
 
 
@@ -55,12 +55,14 @@ class CapabilityIssuer:
     # ------------------------------------------------------------------
     # issue / verify
     # ------------------------------------------------------------------
-    def fanout_bucket(self, dst_addr) -> int:
+    def fanout_bucket(self, dst_addr: Hashable) -> int:
         """``F(IP_d)``: hash the destination into ``[0, n_max - 1]``."""
         digest = hashlib.sha256(_encode("F", dst_addr)).digest()
         return int.from_bytes(digest[:4], "big") % self.n_max
 
-    def issue(self, src_addr, dst_addr, pid: PathId) -> bytes:
+    def issue(
+        self, src_addr: Hashable, dst_addr: Hashable, pid: PathId
+    ) -> bytes:
         """Issue ``C0 || C1`` for a new connection."""
         c0 = hmac.new(
             self._k0, _encode(src_addr, dst_addr, pid), hashlib.sha256
@@ -72,7 +74,13 @@ class CapabilityIssuer:
         ).digest()[:_DIGEST_BYTES]
         return c0 + c1
 
-    def verify(self, capability: bytes, src_addr, dst_addr, pid: PathId) -> bool:
+    def verify(
+        self,
+        capability: Optional[bytes],
+        src_addr: Hashable,
+        dst_addr: Hashable,
+        pid: PathId,
+    ) -> bool:
         """Check both halves against the packet's addresses and path."""
         if capability is None or len(capability) != 2 * _DIGEST_BYTES:
             return False
@@ -81,7 +89,9 @@ class CapabilityIssuer:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
-    def account_key(self, src_addr, dst_addr, pid: PathId) -> Tuple:
+    def account_key(
+        self, src_addr: Hashable, dst_addr: Hashable, pid: PathId
+    ) -> Tuple[Hashable, int, PathId]:
         """The unit at which the router accounts flow bandwidth and drops.
 
         All flows of one source whose destinations hash into the same

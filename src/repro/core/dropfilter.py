@@ -95,7 +95,9 @@ class DropRecordFilter:
     # ------------------------------------------------------------------
     # core update
     # ------------------------------------------------------------------
-    def _decayed(self, arr: int, idx: int, tick: int, epoch_ticks: float):
+    def _decayed(
+        self, arr: int, idx: int, tick: int, epoch_ticks: float
+    ) -> Tuple[float, float, bool]:
         """Effective (d, t_s) of one entry after epoch decay, read-only."""
         tl = self._tl[arr, idx]
         d = self._d[arr, idx]
@@ -150,14 +152,16 @@ class DropRecordFilter:
     # ------------------------------------------------------------------
     # queries (conservative: min across arrays)
     # ------------------------------------------------------------------
-    def _min_entry(self, key: Hashable, tick: int, epoch_ticks: float):
+    def _min_entry(
+        self, key: Hashable, tick: int, epoch_ticks: float
+    ) -> Tuple[float, float]:
         idxs = _indices(key, self.m, self.size)
-        best_d, best_ts = None, None
+        best_d, best_ts = math.inf, 1.0
         for arr in range(self.m):
             d, ts, existed = self._decayed(arr, idxs[arr], tick, epoch_ticks)
             if not existed:
                 return 0.0, 1.0
-            if best_d is None or d < best_d:
+            if d < best_d:
                 best_d, best_ts = d, ts
         return best_d, best_ts
 

@@ -25,7 +25,7 @@ service probability return to one.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Iterable, Tuple
 
 INFINITE_MTD = float("inf")
 
@@ -141,7 +141,7 @@ class MtdClassifier:
 
 
 def aggregate_mtd(
-    tracker: FlowDropTracker, keys, tick: int, window: int
+    tracker: FlowDropTracker, keys: Iterable[Hashable], tick: int, window: int
 ) -> Tuple[float, int]:
     """MTD of a path's flow aggregate and its total window drop count."""
     total = 0

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import copy
 import random
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..net.packet import DATA, SYN, Packet
@@ -43,6 +43,10 @@ from .mtd import INFINITE_MTD, FlowDropTracker, MtdClassifier
 from .pathid import PathId
 from .queue_manager import QueueManager, QueueMode
 from .tokenbucket import PathTokenBucket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..net.engine import Engine
+    from ..net.topology import Link
 
 
 class _PathState:
@@ -90,11 +94,18 @@ class _GroupState:
         "drop_rate_ewma",
     )
 
-    def __init__(self, key, members, share, bucket, bandwidth) -> None:
+    def __init__(
+        self,
+        key: Tuple,
+        members: List[PathId],
+        share: float,
+        bucket: PathTokenBucket,
+        bandwidth: float,
+    ) -> None:
         self.key = key
-        self.members: List[PathId] = members
+        self.members = members
         self.share = share
-        self.bucket: PathTokenBucket = bucket
+        self.bucket = bucket
         self.bandwidth = bandwidth
         # reference MTD measured from the group's actual aggregate drop
         # rate: n_g * window / drops.  Under strict token admission the
@@ -143,7 +154,7 @@ class FLocPolicy(LinkPolicy):
     # ------------------------------------------------------------------
     # engine lifecycle
     # ------------------------------------------------------------------
-    def attach(self, link, engine) -> None:
+    def attach(self, link: "Link", engine: "Engine") -> None:
         super().attach(link, engine)
         buffer = link.buffer if link.buffer is not None else 10_000
         self.capacity = link.capacity if link.capacity is not None else float("inf")

@@ -30,7 +30,7 @@ from .common import FunctionalSettings, mean, run_breakdown
 
 def _coefficient_of_variation(values: List[float]) -> float:
     m = mean(values)
-    if m == 0.0 or len(values) < 2:
+    if m <= 0.0 or len(values) < 2:
         return 0.0
     var = sum((v - m) ** 2 for v in values) / (len(values) - 1)
     return (var ** 0.5) / m

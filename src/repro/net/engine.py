@@ -21,12 +21,24 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import SimulationError
 from ..units import DEFAULT_SCALE, UnitScale
 from .packet import ACK, DATA, SYN, SYNACK, Packet
 from .topology import Link, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .source import TrafficSource
 
 
 class FlowInfo:
@@ -46,13 +58,13 @@ class FlowInfo:
     def __init__(
         self,
         flow_id: int,
-        src_host,
-        dst_host,
-        route: Tuple,
-        reverse_route: Tuple,
+        src_host: Hashable,
+        dst_host: Hashable,
+        route: Tuple[Hashable, ...],
+        reverse_route: Tuple[Hashable, ...],
         path_id: Tuple[int, ...],
         is_attack: bool,
-        source=None,
+        source: Optional["TrafficSource"] = None,
     ) -> None:
         self.flow_id = flow_id
         self.src_host = src_host
@@ -158,18 +170,18 @@ class Engine:
         self.seed = seed
         self.tick = 0
         self.flows: Dict[int, FlowInfo] = {}
-        self._sources: List = []
+        self._sources: List["TrafficSource"] = []
         self._next_flow_id = 0
         # insertion-ordered (dict-as-set) so link processing order — and
         # therefore FIFO interleaving and drop victims — is deterministic
         # given (scenario, seed), independent of object hashes
-        self._active: Dict = {}
-        self._touched_next: Dict = {}
+        self._active: Dict[Link, None] = {}
+        self._touched_next: Dict[Link, None] = {}
         self._deliveries: List[Packet] = []
         self._deliveries_next: List[Packet] = []
         # packets in flight on links with delay > 1 tick:
         # arrival tick -> [(next_link_or_None, packet), ...]
-        self._scheduled: Dict[int, List] = {}
+        self._scheduled: Dict[int, List[Tuple[Optional[Link], Packet]]] = {}
         self._started = False
         self._hooks_per_tick: List[Callable[["Engine", int], None]] = []
         # conservation ledger (see repro.sanitize): every packet handed to
@@ -188,11 +200,11 @@ class Engine:
 
     def open_flow(
         self,
-        src_host,
-        dst_host,
+        src_host: Hashable,
+        dst_host: Hashable,
         path_id: Tuple[int, ...],
-        route: Optional[Sequence] = None,
-        reverse_route: Optional[Sequence] = None,
+        route: Optional[Sequence[Hashable]] = None,
+        reverse_route: Optional[Sequence[Hashable]] = None,
         is_attack: bool = False,
     ) -> FlowInfo:
         """Register a flow and return its :class:`FlowInfo`.
@@ -231,7 +243,7 @@ class Engine:
         self.flows[flow_id] = info
         return info
 
-    def add_source(self, source) -> None:
+    def add_source(self, source: "TrafficSource") -> None:
         """Register a traffic source; it owns one or more flows."""
         if self._started:
             raise SimulationError(
@@ -243,7 +255,10 @@ class Engine:
             flow.source = source
 
     def add_monitor(
-        self, src, dst, monitor: Optional[LinkMonitor] = None
+        self,
+        src: Hashable,
+        dst: Hashable,
+        monitor: Optional[LinkMonitor] = None,
     ) -> LinkMonitor:
         """Attach a :class:`LinkMonitor` to the ``src -> dst`` link."""
         if monitor is None:
@@ -497,7 +512,7 @@ class Engine:
     # ------------------------------------------------------------------
     # fault support (used by repro.faults injectors)
     # ------------------------------------------------------------------
-    def fail_link(self, src, dst) -> Link:
+    def fail_link(self, src: Hashable, dst: Hashable) -> Link:
         """Take the ``src -> dst`` link down, losing its queued packets.
 
         Packets already handed to the link (queue and pending arrivals)
@@ -514,7 +529,7 @@ class Engine:
         link.arrivals_next.clear()
         return link
 
-    def restore_link(self, src, dst) -> Link:
+    def restore_link(self, src: Hashable, dst: Hashable) -> Link:
         """Bring a failed link back up, with an empty queue and no banked
         service credit."""
         link = self.topology.link(src, dst)
@@ -525,8 +540,8 @@ class Engine:
     def reroute_flow(
         self,
         flow: FlowInfo,
-        route: Optional[Sequence] = None,
-        reverse_route: Optional[Sequence] = None,
+        route: Optional[Sequence[Hashable]] = None,
+        reverse_route: Optional[Sequence[Hashable]] = None,
     ) -> None:
         """Re-path a flow mid-run (defaults to current shortest routes).
 

@@ -11,7 +11,7 @@ tokens.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Hashable, Optional, Sequence, Tuple
 
 #: Packet kinds (small ints for speed; see :func:`kind_name`).
 DATA = 0
@@ -71,9 +71,9 @@ class Packet:
         kind: int,
         seq: int,
         path_id: Tuple[int, ...],
-        route: Sequence,
-        src_addr,
-        dst_addr,
+        route: Sequence[Hashable],
+        src_addr: Hashable,
+        dst_addr: Hashable,
         sent_tick: int,
         capability: Optional[bytes] = None,
     ) -> None:

@@ -19,9 +19,13 @@ Two reference policies live here:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Engine
+    from .topology import Link
 
 
 class LinkPolicy:
@@ -34,7 +38,10 @@ class LinkPolicy:
     tail drops), then the queue is serviced.
     """
 
-    def attach(self, link, engine) -> None:
+    link: "Link"
+    engine: "Engine"
+
+    def attach(self, link: "Link", engine: "Engine") -> None:
         """Called once when the engine starts; stores back-references."""
         self.link = link
         self.engine = engine
@@ -103,7 +110,7 @@ class RandomDropPolicy(LinkPolicy):
     def __init__(self, rng: Optional[random.Random] = None) -> None:
         self._rng = rng
 
-    def attach(self, link, engine) -> None:
+    def attach(self, link: "Link", engine: "Engine") -> None:
         super().attach(link, engine)
         if self._rng is None:
             self._rng = engine.spawn_rng("random-drop")
@@ -117,4 +124,5 @@ class RandomDropPolicy(LinkPolicy):
             return list(arrivals)
         if room <= 0:
             return []
+        assert self._rng is not None  # attach() installs one
         return self._rng.sample(arrivals, room)

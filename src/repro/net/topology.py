@@ -15,9 +15,23 @@ scenarios define arbitrary routes explicitly.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import LinkMonitor
+    from .packet import Packet
+    from .policy import LinkPolicy
 
 NodeId = Hashable
 
@@ -91,15 +105,15 @@ class Link:
         self.capacity = capacity
         self.buffer = buffer
         self.delay = delay
-        self.policy = None
+        self.policy: Optional["LinkPolicy"] = None
         self.up = True
-        self.queue: deque = deque()
-        self.arrivals: List = []
-        self.arrivals_next: List = []
+        self.queue: Deque["Packet"] = deque()
+        self.arrivals: List["Packet"] = []
+        self.arrivals_next: List["Packet"] = []
         self.credit = 0.0
         self.serviced_total = 0
         self.dropped_total = 0
-        self.monitors: List = []
+        self.monitors: List["LinkMonitor"] = []
 
     @property
     def ends(self) -> Tuple[NodeId, NodeId]:
@@ -169,7 +183,7 @@ class Topology:
                             delay=delay)
         return fwd, rev
 
-    def set_policy(self, src: NodeId, dst: NodeId, policy) -> None:
+    def set_policy(self, src: NodeId, dst: NodeId, policy: "LinkPolicy") -> None:
         """Attach an admission policy to the ``src -> dst`` link."""
         self.link(src, dst).policy = policy
 

@@ -48,6 +48,15 @@ class FigureJob:
     fingerprint: Dict[str, Any] = field(default_factory=dict)
 
 
+def _finish_fluid_run(run: Any) -> Any:
+    """Finalizer for checkpointed internet-scale units.
+
+    Module-level (not a lambda) so the checkpointed state that references
+    it stays picklable.
+    """
+    return run.sim.finish_run()
+
+
 def _missing(results: Dict[str, Any], names: Sequence[str]) -> List[str]:
     gone = [name for name in names if name not in results]
     if not gone:
@@ -397,7 +406,7 @@ def _internet_job(
                     install_sanitizer(sim, ctx.sanitize)
                     return FluidRun(sim, ticks=iset.ticks, warmup=iset.warmup)
 
-                return ctx.checkpointed(build, lambda run: run.sim.finish_run())
+                return ctx.checkpointed(build, _finish_fluid_run)
 
             units.append((f"{figure}:{variant}:{label}", unit))
     names = [name for name, _ in units]

@@ -41,6 +41,14 @@ NON_RETRYABLE = (ConfigError, InvariantViolation, DeadlineExceeded, Interrupted)
 JOB_STATUSES = ("ok", "partial", "failed", "deadline", "interrupted")
 
 
+def _null_log(message: str) -> None:
+    """Default no-op log sink.
+
+    Module-level (not a lambda) so a runner instance holding it stays
+    picklable for checkpoint/salvage paths.
+    """
+
+
 class Watchdog:
     """Cooperative wall-clock deadline.
 
@@ -247,7 +255,7 @@ class SupervisedRunner:
         self.sanitize = sanitize
         self.checkpoint_interval = checkpoint_interval
         self._sleep = sleep
-        self._log = log or (lambda message: None)
+        self._log = log if log is not None else _null_log
         self._clock = clock
 
     def run_units(
