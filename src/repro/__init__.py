@@ -25,6 +25,9 @@ its evaluation depends on:
   (:mod:`repro.sanitize`),
 * a crash-safe supervised experiment runner with checkpoint/resume,
   watchdog deadlines and bounded retries (:mod:`repro.runner`),
+* a deterministic chaos-campaign engine — seed-sampled fault + adaptive
+  adversary compositions judged against resilience SLOs, with
+  delta-debugged, replayable reproducer artifacts (:mod:`repro.chaos`),
 * measurement/reporting helpers (:mod:`repro.analysis`) and one runner
   per paper figure (:mod:`repro.experiments`).
 
@@ -99,6 +102,18 @@ from .runner import (
     build_figure_job,
     run_checkpointed,
 )
+from .chaos import (
+    AttackerSpec,
+    CampaignSpec,
+    ChaosOptions,
+    FaultSpec,
+    SloSpec,
+    replay_artifact,
+    run_campaign,
+    run_chaos,
+    sample_campaign,
+    shrink_campaign,
+)
 
 __version__ = "1.0.0"
 
@@ -158,5 +173,15 @@ __all__ = [
     "FluidRun",
     "run_checkpointed",
     "build_figure_job",
+    "AttackerSpec",
+    "CampaignSpec",
+    "ChaosOptions",
+    "FaultSpec",
+    "SloSpec",
+    "replay_artifact",
+    "run_campaign",
+    "run_chaos",
+    "sample_campaign",
+    "shrink_campaign",
     "__version__",
 ]

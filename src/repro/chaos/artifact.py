@@ -1,0 +1,155 @@
+"""Replay artifacts: the on-disk record of a shrunken reproducer.
+
+An artifact is a single JSON file, written with ``sort_keys=True`` and a
+fixed indent so the same reproducer always serializes to the same bytes
+(CI diffs artifacts across runs to detect nondeterminism).  Format,
+version ``1``:
+
+.. code-block:: json
+
+    {
+      "format": "repro-chaos-reproducer",
+      "version": 1,
+      "slo": "floor",
+      "detail": "min legit share 0.1412 in window 5 ...",
+      "digest": "sha256 hex of the minimal spec's run measurements",
+      "minimal": true,
+      "shrink": {"trials": 17, "steps": ["drop fault ...", "..."]},
+      "spec": { ... CampaignSpec.to_dict() ... },
+      "original_spec": { ... the unshrunken campaign ... }
+    }
+
+``repro chaos --replay file.json`` loads ``spec``, re-runs it, and
+checks (a) the recorded SLO still fails and (b) the run digest matches —
+so an artifact is an executable, self-verifying bug report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import ConfigError
+from .campaign import CampaignResult, run_campaign
+from .shrink import ShrinkResult
+from .spec import CampaignSpec
+
+FORMAT_NAME = "repro-chaos-reproducer"
+FORMAT_VERSION = 1
+
+
+def artifact_dict(shrink: ShrinkResult) -> Dict[str, Any]:
+    """The canonical artifact payload for one shrink result."""
+    verdict = None
+    for v in shrink.final.report.verdicts:
+        if v.slo == shrink.slo:
+            verdict = v
+            break
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "slo": shrink.slo,
+        "detail": verdict.detail if verdict is not None else "",
+        "digest": shrink.final.digest,
+        "minimal": shrink.final.report.violates(shrink.slo),
+        "shrink": {"trials": shrink.trials, "steps": list(shrink.steps)},
+        "spec": shrink.minimal.to_dict(),
+        "original_spec": shrink.original.to_dict(),
+    }
+
+
+def dump_artifact(shrink: ShrinkResult) -> str:
+    """Byte-stable JSON text of the artifact (trailing newline included)."""
+    return (
+        json.dumps(artifact_dict(shrink), sort_keys=True, indent=2) + "\n"
+    )
+
+
+def write_artifact(shrink: ShrinkResult, path: Union[str, Path]) -> Path:
+    """Write the artifact; returns the resolved path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(dump_artifact(shrink))
+    return out
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse and structurally validate an artifact file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read artifact {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"artifact {path} is not JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+        raise ConfigError(
+            f"artifact {path} is not a {FORMAT_NAME} file"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigError(
+            f"artifact {path} has format version {data.get('version')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    for key in ("slo", "digest", "spec"):
+        if key not in data:
+            raise ConfigError(f"artifact {path} is missing {key!r}")
+    return data
+
+
+def replay_artifact(path: Union[str, Path]) -> "ReplayOutcome":
+    """Re-execute an artifact's minimal spec and check it still reproduces.
+
+    The replayed run must (a) violate the recorded SLO and (b) produce
+    the recorded run digest.  Replay verification inside the run is
+    skipped — the digest comparison against the artifact *is* the replay
+    check.
+    """
+    data = load_artifact(path)
+    spec = CampaignSpec.from_dict(data["spec"])
+    result = run_campaign(spec, verify_replay=False)
+    return ReplayOutcome(
+        slo=data["slo"],
+        expected_digest=data["digest"],
+        result=result,
+        violation_reproduced=result.report.violates(data["slo"]),
+        digest_matched=result.digest == data["digest"],
+    )
+
+
+class ReplayOutcome:
+    """What happened when an artifact was replayed."""
+
+    def __init__(
+        self,
+        slo: str,
+        expected_digest: str,
+        result: CampaignResult,
+        violation_reproduced: bool,
+        digest_matched: bool,
+    ) -> None:
+        self.slo = slo
+        self.expected_digest = expected_digest
+        self.result = result
+        self.violation_reproduced = violation_reproduced
+        self.digest_matched = digest_matched
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_reproduced and self.digest_matched
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"reproduced: SLO '{self.slo}' still violated, digest "
+                f"matches {self.expected_digest[:12]}…"
+            )
+        problems = []
+        if not self.violation_reproduced:
+            problems.append(f"SLO '{self.slo}' no longer violated")
+        if not self.digest_matched:
+            problems.append(
+                f"digest mismatch (expected {self.expected_digest[:12]}…, "
+                f"got {self.result.digest[:12]}…)"
+            )
+        return "replay FAILED: " + "; ".join(problems)

@@ -1,0 +1,199 @@
+"""The chaos sweep: sample N campaigns, run each as a supervised unit.
+
+Each campaign executes as one crash-isolated unit of a
+:class:`~repro.runner.supervisor.SupervisedRunner` job: a crash inside
+campaign 7 is retried per the runner's policy and, failing that, recorded
+as a failed unit without taking down campaigns 8..N; with a checkpoint
+store a killed sweep resumes past every completed campaign.  Unit results
+are plain dicts of primitives, so they ride through the runner's pickle
+checkpoints unchanged.
+
+On an SLO violation the unit delta-debugs the campaign down to a minimal
+reproducer (:mod:`repro.chaos.shrink`) and writes a replay artifact
+(:mod:`repro.chaos.artifact`) into the sweep's artifact directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..runner import CheckpointStore, RetryPolicy, SupervisedRunner
+from ..runner.supervisor import JobReport, UnitContext
+from .artifact import write_artifact
+from .campaign import run_campaign
+from .shrink import shrink_campaign
+from .spec import SIMULATORS, CampaignSpec, SloSpec, sample_campaign
+
+
+@dataclass
+class ChaosOptions:
+    """Everything one ``repro chaos`` sweep is parameterized by."""
+
+    seed: int = 0
+    campaigns: int = 3
+    simulator: str = "both"  # "packet" | "fluid" | "both"
+    include_silent: bool = False
+    slo: Optional[SloSpec] = None  # None = per-simulator default catalog
+    shrink: bool = True
+    max_shrink_trials: int = 64
+    artifact_dir: Optional[str] = "chaos-artifacts"
+
+    def validate(self) -> None:
+        if self.campaigns < 1:
+            raise ConfigError(
+                f"campaigns must be >= 1, got {self.campaigns}"
+            )
+        if self.simulator not in SIMULATORS + ("both",):
+            raise ConfigError(
+                f"simulator must be one of {SIMULATORS + ('both',)}, got "
+                f"{self.simulator!r}"
+            )
+        if self.max_shrink_trials < 1:
+            raise ConfigError(
+                f"max_shrink_trials must be >= 1, got "
+                f"{self.max_shrink_trials}"
+            )
+
+
+class CampaignJob:
+    """One campaign as a supervised unit (a plain picklable callable).
+
+    Returns a dict of primitives: the spec, the run digest, per-SLO
+    verdict rows, and — when the campaign violated an SLO and shrinking
+    is on — the shrink summary and the written artifact path.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        shrink: bool = True,
+        max_shrink_trials: int = 64,
+        artifact_dir: Optional[str] = None,
+    ) -> None:
+        self.spec = spec
+        self.shrink = shrink
+        self.max_shrink_trials = max_shrink_trials
+        self.artifact_dir = artifact_dir
+
+    def __call__(self, ctx: UnitContext) -> Dict[str, Any]:
+        result = run_campaign(self.spec)
+        out: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "simulator": self.spec.simulator,
+            "ok": result.ok,
+            "digest": result.digest,
+            "verdicts": result.report.rows(),
+            "artifact": None,
+            "shrink": None,
+        }
+        violated = result.report.violated()
+        if violated is None or not self.shrink:
+            return out
+        shrunk = shrink_campaign(
+            self.spec,
+            violated.slo,
+            max_trials=self.max_shrink_trials,
+        )
+        out["shrink"] = {
+            "slo": shrunk.slo,
+            "trials": shrunk.trials,
+            "steps": list(shrunk.steps),
+            "minimal_spec": shrunk.minimal.to_dict(),
+            "minimal_digest": shrunk.final.digest,
+        }
+        if self.artifact_dir is not None:
+            path = write_artifact(
+                shrunk,
+                Path(self.artifact_dir) / f"reproducer-{ctx.name}.json",
+            )
+            out["artifact"] = str(path)
+        return out
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one sweep: the runner's job report plus SLO tallies."""
+
+    job: JobReport
+    specs: List[CampaignSpec] = field(default_factory=list)
+
+    @property
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """Completed campaign results, in sweep order."""
+        return [
+            self.job.results[name] for name in sorted(self.job.results)
+        ]
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return [c for c in self.campaigns if not c["ok"]]
+
+    @property
+    def artifacts(self) -> List[str]:
+        return [
+            c["artifact"] for c in self.campaigns if c["artifact"] is not None
+        ]
+
+    @property
+    def status(self) -> str:
+        """Sweep status: the job status, except a clean job with SLO
+        violations reports ``"violations"``."""
+        if self.job.status == "ok" and self.violations:
+            return "violations"
+        return self.job.status
+
+
+def build_chaos_units(
+    options: ChaosOptions,
+) -> List[Tuple[str, CampaignJob]]:
+    """The sweep's supervised unit list (deterministic in options)."""
+    units: List[Tuple[str, CampaignJob]] = []
+    for index in range(options.campaigns):
+        spec = sample_campaign(
+            options.seed,
+            index,
+            simulator=options.simulator,
+            slo=options.slo,
+            include_silent=options.include_silent,
+        )
+        units.append(
+            (
+                f"campaign-{index:03d}",
+                CampaignJob(
+                    spec,
+                    shrink=options.shrink,
+                    max_shrink_trials=options.max_shrink_trials,
+                    artifact_dir=options.artifact_dir,
+                ),
+            )
+        )
+    return units
+
+
+def run_chaos(
+    options: ChaosOptions,
+    store: Optional[CheckpointStore] = None,
+    deadline_seconds: Optional[float] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run one chaos sweep under runner supervision."""
+    options.validate()
+    units = build_chaos_units(options)
+    runner = SupervisedRunner(
+        store=store,
+        deadline_seconds=deadline_seconds,
+        retry=RetryPolicy(seed=options.seed),
+        log=log,
+    )
+    fingerprint = {
+        "kind": "chaos-sweep",
+        "seed": options.seed,
+        "campaigns": options.campaigns,
+        "simulator": options.simulator,
+        "include_silent": options.include_silent,
+    }
+    job = runner.run_units(units, job_fingerprint=fingerprint)
+    return ChaosReport(job=job, specs=[unit[1].spec for unit in units])

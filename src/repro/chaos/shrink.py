@@ -1,0 +1,153 @@
+"""Delta-debugging: shrink a failing campaign to a minimal reproducer.
+
+Given a spec whose run violates some SLO, the shrinker repeatedly tries
+*candidate edits* — drop one fault, remove one attacker squad, strip one
+mutation from a squad, shorten a windowed fault's duration — keeping an
+edit whenever the edited spec still violates the *same* SLO, and runs to
+a greedy fixpoint.  At the fixpoint no single remaining fault, squad, or
+mutation can be removed without the violation disappearing, which is
+exactly the 1-minimality the reproducer artifact promises.
+
+Everything here is deterministic: candidate order is fixed, each trial is
+one :func:`~repro.chaos.campaign.run_campaign` execution (replay
+verification off — one run per trial), and the final minimal spec is
+re-run *with* replay verification so the artifact records a digest the
+``--replay`` path can trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
+
+from .campaign import CampaignResult, run_campaign
+from .spec import WINDOWED_FAULT_KINDS, CampaignSpec
+
+#: An edit proposal: (description, edited spec).
+Candidate = Tuple[str, CampaignSpec]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    original: CampaignSpec
+    minimal: CampaignSpec
+    slo: str  # the violated SLO the shrink preserved
+    final: CampaignResult  # the minimal spec's (replay-verified) run
+    trials: int = 0  # executions spent probing candidates
+    steps: List[str] = field(default_factory=list)  # accepted edits
+
+    @property
+    def removed(self) -> int:
+        return len(self.steps)
+
+
+def _without_index(items: tuple, index: int) -> tuple:
+    return items[:index] + items[index + 1 :]
+
+
+def _candidates(spec: CampaignSpec) -> List[Candidate]:
+    """All single-step simplifications of ``spec``, in a fixed order.
+
+    Ordered coarse-to-fine: whole faults first, then whole squads, then
+    per-squad mutations, then fault-duration halving — so the greedy pass
+    discards big components before polishing small ones.
+    """
+    out: List[Candidate] = []
+    for i, fault in enumerate(spec.faults):
+        out.append(
+            (
+                f"drop fault {fault.kind}@{fault.tick}",
+                replace(spec, faults=_without_index(spec.faults, i)),
+            )
+        )
+    for i, squad in enumerate(spec.attackers):
+        out.append(
+            (
+                f"drop attacker squad {i} ({squad.kind} x{squad.bots})",
+                replace(spec, attackers=_without_index(spec.attackers, i)),
+            )
+        )
+    for i, squad in enumerate(spec.attackers):
+        for j, mutation in enumerate(squad.mutations):
+            smaller = replace(
+                squad, mutations=_without_index(squad.mutations, j)
+            )
+            out.append(
+                (
+                    f"strip mutation {mutation!r} from squad {i}",
+                    replace(
+                        spec,
+                        attackers=spec.attackers[:i]
+                        + (smaller,)
+                        + spec.attackers[i + 1 :],
+                    ),
+                )
+            )
+    for i, fault in enumerate(spec.faults):
+        if fault.kind in WINDOWED_FAULT_KINDS and fault.duration >= 2:
+            shorter = replace(fault, duration=fault.duration // 2)
+            out.append(
+                (
+                    f"halve {fault.kind}@{fault.tick} duration to "
+                    f"{shorter.duration}",
+                    replace(
+                        spec,
+                        faults=spec.faults[:i]
+                        + (shorter,)
+                        + spec.faults[i + 1 :],
+                    ),
+                )
+            )
+    return out
+
+
+def shrink_campaign(
+    spec: CampaignSpec,
+    slo: str,
+    max_trials: int = 64,
+    log: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Shrink ``spec`` while it keeps violating ``slo``.
+
+    ``spec`` must already be a confirmed violator of ``slo`` (callers pass
+    the SLO name from the original run's report).  ``max_trials`` bounds
+    total trial executions; on exhaustion the current (still-violating)
+    spec is returned — possibly not 1-minimal, which the artifact records.
+    """
+
+    def emit(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    current = spec
+    trials = 0
+    steps: List[str] = []
+    exhausted = False
+    progress = True
+    while progress and not exhausted:
+        progress = False
+        for description, candidate in _candidates(current):
+            if trials >= max_trials:
+                exhausted = True
+                break
+            trials += 1
+            result = run_campaign(candidate, verify_replay=False)
+            if result.report.violates(slo):
+                emit(f"shrink: kept edit '{description}' ({trials} trials)")
+                current = candidate
+                steps.append(description)
+                progress = True
+                break  # restart candidate enumeration from the new spec
+            emit(f"shrink: rejected '{description}' (violation vanished)")
+
+    final = run_campaign(current, verify_replay=True)
+    return ShrinkResult(
+        original=spec,
+        minimal=current,
+        slo=slo,
+        final=final,
+        trials=trials,
+        steps=steps,
+    )

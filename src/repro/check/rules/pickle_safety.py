@@ -33,7 +33,10 @@ CHECKPOINT_SINKS = frozenset(
 )
 
 #: Modules where instance attributes are reachable from pickled state.
-ATTRIBUTE_SCOPE = ("repro.runner", "repro.cli")
+#: repro.chaos instances (CampaignJob, injectors inside specs) ride
+#: through SupervisedRunner checkpoints; repro.traffic sources are
+#: engine state pickled by EngineRun snapshots.
+ATTRIBUTE_SCOPE = ("repro.runner", "repro.cli", "repro.chaos", "repro.traffic")
 
 
 def _callee_terminal(call: ast.Call) -> Optional[str]:

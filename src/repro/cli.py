@@ -9,6 +9,13 @@ Commands
     its rows (e.g. ``run fig08``).
 ``quickstart``
     The README quickstart: FLoc on a flooded link, bandwidth breakdown.
+``chaos [options]``
+    Seed-deterministic chaos campaigns (faults + adaptive adversaries)
+    judged against resilience SLOs; violations are delta-debugged to
+    minimal reproducer artifacts that ``chaos --replay FILE``
+    re-executes and verifies (see :mod:`repro.chaos`).
+``check [options]``
+    The flocheck static-analysis rules (see :mod:`repro.check`).
 
 Scale/duration flags apply to the functional figures; internet-scale
 figures take ``--variants``.  Every ``run`` is supervised (see
@@ -173,6 +180,90 @@ def _quickstart(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    from .chaos import (
+        ChaosOptions,
+        default_slo,
+        replay_artifact,
+        run_chaos,
+    )
+    from .runner import CheckpointStore
+
+    if args.replay:
+        outcome = replay_artifact(args.replay)
+        _emit(
+            args,
+            "chaos-replay",
+            ["slo", "verdict", "detail"],
+            outcome.result.report.rows(),
+            f"replay of {args.replay}",
+        )
+        sys.stdout.write(outcome.summary() + "\n")
+        return 0 if outcome.ok else 1
+
+    slo = None
+    if args.floor is not None or args.epsilon is not None or args.sanitize:
+        # per-simulator default catalogs diverge only in the floor, so a
+        # single override catalog (packet default base) covers both
+        simulator = args.simulator if args.simulator != "both" else "packet"
+        slo = default_slo(
+            simulator,
+            floor=args.floor,
+            epsilon=args.epsilon,
+            sanitize=args.sanitize or None,
+        )
+    options = ChaosOptions(
+        seed=args.seed,
+        campaigns=args.campaigns,
+        simulator=args.simulator,
+        include_silent=args.include_silent,
+        slo=slo,
+        shrink=not args.no_shrink,
+        max_shrink_trials=args.max_shrink_trials,
+        artifact_dir=args.artifact_dir,
+    )
+    store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+    report = run_chaos(
+        options,
+        store=store,
+        deadline_seconds=args.deadline,
+        log=_runner_log,
+    )
+    rows = []
+    for i, campaign in enumerate(report.campaigns):
+        violated = [v[0] for v in campaign["verdicts"] if v[1] != "ok"]
+        rows.append(
+            [
+                f"campaign-{i:03d}",
+                campaign["simulator"],
+                "ok" if campaign["ok"] else "VIOLATED " + ",".join(violated),
+                campaign["digest"][:12],
+                campaign["artifact"] or "",
+            ]
+        )
+    _emit(
+        args,
+        "chaos",
+        ["campaign", "simulator", "verdict", "digest", "artifact"],
+        rows,
+        f"chaos sweep: seed {args.seed}, {args.campaigns} campaign(s)",
+    )
+    for campaign in report.violations:
+        shrunk = campaign["shrink"]
+        if shrunk:
+            sys.stdout.write(
+                f"shrunk '{shrunk['slo']}' violation in {shrunk['trials']} "
+                f"trial(s): removed {len(shrunk['steps'])} component(s)\n"
+            )
+    if report.status == "violations":
+        sys.stderr.write(
+            f"{len(report.violations)} campaign(s) violated an SLO; "
+            f"reproducers: {report.artifacts or 'disabled'}\n"
+        )
+        return EXIT_CODES["partial"]
+    return EXIT_CODES[report.job.status]
+
+
 def _check(args) -> int:
     from .check import Baseline, Checker, rule_catalog
     from .check.engine import DEFAULT_BASELINE
@@ -256,6 +347,50 @@ def build_parser() -> argparse.ArgumentParser:
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
     _add_common(quick)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seed-deterministic chaos campaigns against resilience "
+             "SLOs; violations shrink to minimal replay artifacts",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="sweep seed; the full campaign list is a pure "
+                            "function of it")
+    chaos.add_argument("--campaigns", type=int, default=3, metavar="N",
+                       help="number of campaigns to sample and run")
+    chaos.add_argument("--simulator", choices=("packet", "fluid", "both"),
+                       default="both",
+                       help="simulator backend ('both' samples per campaign)")
+    chaos.add_argument("--include-silent", action="store_true",
+                       help="include silent-corruption faults in the sample "
+                            "space (these are expected sanitizer violations)")
+    chaos.add_argument("--floor", type=float, default=None,
+                       help="override the legitimate-share floor SLO")
+    chaos.add_argument("--epsilon", type=float, default=None,
+                       help="override the recovery-SLO tolerance")
+    chaos.add_argument("--sanitize", choices=("off", "strict", "record"),
+                       default=None,
+                       help="override the sanitizer SLO mode "
+                            "(default: strict)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="report violations without delta-debugging them")
+    chaos.add_argument("--max-shrink-trials", type=int, default=64,
+                       metavar="N",
+                       help="trial-execution budget per shrink (default 64)")
+    chaos.add_argument("--artifact-dir", metavar="DIR",
+                       default="chaos-artifacts",
+                       help="where reproducer JSON artifacts are written")
+    chaos.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="crash-safe sweep checkpoints (completed "
+                            "campaigns are not re-run)")
+    chaos.add_argument("--deadline", type=float, metavar="SECONDS",
+                       default=None,
+                       help="wall-clock watchdog deadline for the sweep")
+    chaos.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-execute a reproducer artifact and verify it "
+                            "still fails identically (other flags ignored)")
+    chaos.add_argument("--csv", metavar="DIR", default=None,
+                       help="also write the sweep table to DIR/chaos.csv")
+
     check = sub.add_parser(
         "check", help="run the flocheck static-analysis rules"
     )
@@ -312,6 +447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _run_figure(args)
+        if args.command == "chaos":
+            return _chaos(args)
         if args.command == "check":
             return _check(args)
         return _quickstart(args)

@@ -58,6 +58,8 @@ class FlowDropTracker:
 
     def drops_in_window(self, key: Hashable, tick: int, window: int) -> int:
         """Drops of ``key`` within ``(tick - window, tick]``."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         dq = self._drops.get(key)
         if not dq:
             return 0
@@ -67,6 +69,8 @@ class FlowDropTracker:
 
     def mtd(self, key: Hashable, tick: int, window: int) -> float:
         """Eq. (IV.4): ``window / drops``; infinite when drop-free."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         drops = self.drops_in_window(key, tick, min(window, self.horizon))
         if drops == 0:
             return INFINITE_MTD
@@ -144,6 +148,8 @@ def aggregate_mtd(
     tracker: FlowDropTracker, keys: Iterable[Hashable], tick: int, window: int
 ) -> Tuple[float, int]:
     """MTD of a path's flow aggregate and its total window drop count."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
     total = 0
     for key in keys:
         total += tracker.drops_in_window(key, tick, window)

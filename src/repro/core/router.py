@@ -739,6 +739,13 @@ class FLocPolicy(LinkPolicy):
         """Whether the policy is in its post-restart warm-up window."""
         return self._warmup_until is not None
 
+    @property
+    def warmup_until(self) -> Optional[int]:
+        """Tick at which the current warm-up window ends, or ``None``
+        outside warm-up — the recovery-deadline anchor used by the
+        :mod:`repro.chaos` SLO oracles."""
+        return self._warmup_until
+
     # ------------------------------------------------------------------
     # introspection (experiments / tests)
     # ------------------------------------------------------------------

@@ -42,6 +42,25 @@ class FaultEvent:
     period: Optional[int] = None
     until: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        # the builders (at/every/link_flap) validate too, but events can
+        # be constructed directly — e.g. by spec interpreters — so the
+        # invariants are enforced here as well
+        if self.tick < 0:
+            raise ConfigError(f"fault tick must be >= 0, got {self.tick}")
+        if not callable(self.injector):
+            raise ConfigError(
+                f"injector must be callable, got {self.injector!r}"
+            )
+        if self.period is not None and self.period < 1:
+            raise ConfigError(
+                f"fault period must be >= 1, got {self.period}"
+            )
+        if self.until is not None and self.until <= self.tick:
+            raise ConfigError(
+                f"fault until ({self.until}) must be > start ({self.tick})"
+            )
+
     def fires_at(self, tick: int) -> bool:
         if tick < self.tick:
             return False

@@ -7,6 +7,12 @@ Attack models used in the paper's evaluation (Section VI):
   attackers, optionally synchronised across bots.
 * :class:`~repro.traffic.covert.CovertSource` — one bot holding many
   concurrent low-rate, legitimate-looking flows to distinct destinations.
+* :class:`~repro.traffic.adaptive.AdaptiveCbrSource` /
+  :class:`~repro.traffic.adaptive.AdaptiveShrewSource` /
+  :class:`~repro.traffic.adaptive.FluidRateRandomizer` — adversaries that
+  re-phase, re-randomize rates, or churn path identifiers once throttled
+  (the Section IV-B strategy-independence stress, used by
+  :mod:`repro.chaos`).
 
 The "high-population TCP attack" is simply many
 :class:`~repro.tcp.source.TcpSource` instances and needs no special class.
@@ -19,6 +25,11 @@ from .base import TrafficSource
 from .cbr import CbrSource
 from .shrew import ShrewSource
 from .covert import CovertSource
+from .adaptive import (
+    AdaptiveCbrSource,
+    AdaptiveShrewSource,
+    FluidRateRandomizer,
+)
 from .trace import PacketSizeDistribution
 from .scenarios import TreeScenario, build_tree_scenario
 
@@ -27,6 +38,9 @@ __all__ = [
     "CbrSource",
     "ShrewSource",
     "CovertSource",
+    "AdaptiveCbrSource",
+    "AdaptiveShrewSource",
+    "FluidRateRandomizer",
     "PacketSizeDistribution",
     "TreeScenario",
     "build_tree_scenario",

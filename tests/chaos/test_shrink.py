@@ -1,0 +1,130 @@
+"""Delta-debugging shrinker: convergence, 1-minimality, stable artifacts.
+
+The seeded fixture was calibrated empirically: with the cbr squad present
+the judged legit share bottoms out near 0.835, without it the share stays
+above 0.994, so a floor of 0.95 makes exactly the squad-retaining specs
+violate.  The shrinker must therefore drop the fault and strip the
+mutation but keep the squad.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    AttackerSpec,
+    CampaignSpec,
+    FaultSpec,
+    SloSpec,
+    dump_artifact,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    shrink_campaign,
+    with_slo,
+    write_artifact,
+)
+from repro.chaos.artifact import artifact_dict
+from repro.chaos.shrink import _candidates
+from repro.errors import ConfigError
+
+FLOOR = 0.95
+
+
+@pytest.fixture(scope="module")
+def violating_spec():
+    base = CampaignSpec(
+        seed=5,
+        simulator="packet",
+        warmup_ticks=150,
+        window_ticks=100,
+        n_windows=4,
+        scale=0.05,
+        faults=(FaultSpec(kind="router_restart", tick=300),),
+        attackers=(
+            AttackerSpec(
+                kind="cbr", bots=2, rate_mbps=2.0, mutations=("rerandomize",)
+            ),
+        ),
+        slo=SloSpec(),
+    )
+    return with_slo(base, floor=FLOOR)
+
+
+@pytest.fixture(scope="module")
+def shrunk(violating_spec):
+    result = shrink_campaign(violating_spec, "floor")
+    assert result is not None
+    return result
+
+
+class TestShrinking:
+    def test_fixture_violates_the_floor(self, violating_spec):
+        report = run_campaign(violating_spec, verify_replay=False).report
+        assert report.violates("floor")
+
+    def test_minimal_spec_keeps_only_the_bare_squad(self, shrunk):
+        assert shrunk.minimal.faults == ()
+        assert len(shrunk.minimal.attackers) == 1
+        assert shrunk.minimal.attackers[0].mutations == ()
+
+    def test_minimal_spec_still_violates(self, shrunk):
+        assert shrunk.final.report.violates("floor")
+
+    def test_minimal_spec_is_one_minimal(self, shrunk):
+        """No single-edit reduction of the minimal spec still violates —
+        the defining property the shrinker promises by construction,
+        re-checked here by brute force."""
+        for _label, candidate in _candidates(shrunk.minimal):
+            report = run_campaign(candidate, verify_replay=False).report
+            assert not report.violates("floor"), _label
+
+    def test_removed_counts_the_edits(self, shrunk):
+        assert shrunk.removed == len(shrunk.steps)
+        assert len(shrunk.steps) >= 2  # fault dropped + mutation stripped
+
+    def test_trial_budget_is_respected(self, violating_spec):
+        result = shrink_campaign(violating_spec, "floor", max_trials=1)
+        assert result.trials <= 1
+
+
+class TestArtifacts:
+    def test_independent_shrinks_produce_identical_artifacts(
+        self, violating_spec, shrunk
+    ):
+        again = shrink_campaign(violating_spec, "floor")
+        assert dump_artifact(again) == dump_artifact(shrunk)
+
+    def test_artifact_is_canonical_json(self, shrunk):
+        text = dump_artifact(shrunk)
+        data = json.loads(text)
+        assert text == json.dumps(data, sort_keys=True, indent=2) + "\n"
+        assert data["format"] == "repro-chaos-reproducer"
+        assert data["slo"] == "floor"
+
+    def test_round_trip_and_replay(self, shrunk, tmp_path):
+        path = tmp_path / "repro.json"
+        write_artifact(shrunk, path)
+        data = load_artifact(path)
+        assert data == artifact_dict(shrunk)
+        outcome = replay_artifact(path)
+        assert outcome.ok
+        assert outcome.violation_reproduced
+        assert outcome.digest_matched
+
+    def test_load_rejects_malformed_artifacts(self, shrunk, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ConfigError):
+            load_artifact(missing)
+
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_artifact(garbage)
+
+        wrong = tmp_path / "wrong.json"
+        data = artifact_dict(shrunk)
+        data["format"] = "something-else"
+        wrong.write_text(json.dumps(data))
+        with pytest.raises(ConfigError):
+            load_artifact(wrong)

@@ -1,0 +1,185 @@
+"""Campaign spec layer: sampling determinism, validation, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.chaos import (
+    AttackerSpec,
+    CampaignSpec,
+    FaultSpec,
+    SloSpec,
+    default_slo,
+    sample_campaign,
+    with_slo,
+)
+from repro.chaos.spec import SILENT_FAULT_KINDS, chaos_rng
+from repro.errors import ConfigError
+
+
+def small_spec(**overrides):
+    base = dict(
+        seed=1,
+        simulator="packet",
+        warmup_ticks=100,
+        window_ticks=50,
+        n_windows=4,
+        faults=(FaultSpec(kind="router_restart", tick=160),),
+        attackers=(AttackerSpec(kind="cbr", mutations=("rerandomize",)),),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSampling:
+    def test_same_seed_and_index_samples_identical_specs(self):
+        assert sample_campaign(11, 3) == sample_campaign(11, 3)
+
+    def test_different_indices_diverge(self):
+        specs = [sample_campaign(11, i) for i in range(6)]
+        assert len(set(specs)) > 1
+
+    def test_different_seeds_diverge(self):
+        assert sample_campaign(1, 0) != sample_campaign(2, 0)
+
+    def test_every_sampled_spec_validates(self):
+        for i in range(20):
+            sample_campaign(5, i, simulator="both").validate()
+
+    def test_sampled_faults_leave_judgeable_windows(self):
+        """Fault ticks stay clear of the first and last windows so the
+        floor and recovery oracles always have windows to judge."""
+        for i in range(20):
+            spec = sample_campaign(9, i, simulator="both")
+            first_stop = spec.window_bounds(0)[1]
+            for fault in spec.faults:
+                assert fault.tick >= first_stop
+                assert fault.clear_tick() < spec.total_ticks
+
+    def test_silent_kinds_excluded_by_default(self):
+        kinds = set()
+        for i in range(40):
+            spec = sample_campaign(3, i, simulator="both")
+            kinds.update(f.kind for f in spec.faults)
+        assert not kinds & set(SILENT_FAULT_KINDS)
+
+    def test_simulator_choice_is_honored(self):
+        for sim in ("packet", "fluid"):
+            assert sample_campaign(1, 0, simulator=sim).simulator == sim
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_campaign(1, 0, simulator="quantum")
+
+    def test_chaos_rng_is_deterministic(self):
+        assert (
+            chaos_rng(4, "x").random() == chaos_rng(4, "x").random()
+        )
+
+
+class TestValidation:
+    def test_small_spec_is_valid(self):
+        small_spec().validate()
+
+    def test_fault_beyond_run_rejected(self):
+        spec = small_spec(
+            faults=(FaultSpec(kind="router_restart", tick=999),)
+        )
+        with pytest.raises(ConfigError):
+            spec.validate()
+
+    def test_negative_fault_tick_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                faults=(FaultSpec(kind="router_restart", tick=-1),)
+            ).validate()
+
+    def test_windowed_fault_needs_duration(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                faults=(FaultSpec(kind="link_flap", tick=160),)
+            ).validate()
+
+    def test_instant_fault_rejects_duration(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                faults=(
+                    FaultSpec(kind="router_restart", tick=160, duration=5),
+                )
+            ).validate()
+
+    def test_fluid_fault_kind_rejected_on_packet(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                faults=(
+                    FaultSpec(kind="link_degrade", tick=160, duration=10),
+                )
+            ).validate()
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                attackers=(AttackerSpec(kind="cbr", mutations=("warp",)),)
+            ).validate()
+
+    def test_shrew_mutation_rejected_on_cbr(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                attackers=(AttackerSpec(kind="cbr", mutations=("rephase",)),)
+            ).validate()
+
+    def test_shrew_needs_period(self):
+        with pytest.raises(ConfigError):
+            small_spec(
+                attackers=(AttackerSpec(kind="shrew", period_ticks=0),)
+            ).validate()
+
+    def test_slo_floor_bounds(self):
+        with pytest.raises(ConfigError):
+            small_spec(slo=SloSpec(floor=1.5)).validate()
+
+    def test_slo_sanitize_mode_checked(self):
+        with pytest.raises(ConfigError):
+            small_spec(slo=SloSpec(sanitize="paranoid")).validate()
+
+    def test_window_bounds_tile_the_run(self):
+        spec = small_spec()
+        stops = [spec.window_bounds(i) for i in range(spec.n_windows)]
+        assert stops[0][0] == spec.warmup_ticks
+        assert stops[-1][1] == spec.total_ticks
+        for (_, stop), (start, _) in zip(stops, stops[1:]):
+            assert stop == start
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_identity(self):
+        spec = sample_campaign(13, 2, simulator="both")
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_preserves_tuple_types(self):
+        spec = CampaignSpec.from_dict(small_spec().to_dict())
+        assert isinstance(spec.faults, tuple)
+        assert isinstance(spec.attackers, tuple)
+        assert isinstance(spec.attackers[0].mutations, tuple)
+
+    def test_malformed_dict_raises_config_error(self):
+        data = small_spec().to_dict()
+        del data["simulator"]
+        with pytest.raises(ConfigError):
+            CampaignSpec.from_dict(data)
+
+    def test_specs_are_picklable(self):
+        spec = sample_campaign(13, 2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_with_slo_overrides_only_given_fields(self):
+        spec = small_spec()
+        bumped = with_slo(spec, floor=0.9)
+        assert bumped.slo.floor == 0.9
+        assert bumped.slo.epsilon == spec.slo.epsilon
+        assert bumped.faults == spec.faults
+
+    def test_default_slo_honours_overrides(self):
+        slo = default_slo("packet", floor=0.42, sanitize="record")
+        assert slo.floor == 0.42
+        assert slo.sanitize == "record"

@@ -83,6 +83,17 @@ class TestRestartWarmup:
         engine.run(60)
         assert not policy.in_warmup
 
+    def test_warmup_until_anchors_the_deadline(self):
+        cfg = FLocConfig(restart_warmup_ticks=50)
+        engine, policy = flooded_engine(config=cfg)
+        engine.run(100)
+        assert policy.warmup_until is None
+        restart_tick = engine.tick
+        policy.restart(restart_tick)
+        assert policy.warmup_until == restart_tick + 50
+        engine.run(60)
+        assert policy.warmup_until is None
+
     def test_state_reconverges_after_restart(self):
         engine, policy = flooded_engine(
             config=FLocConfig(restart_warmup_ticks=50)

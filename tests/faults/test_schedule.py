@@ -34,6 +34,30 @@ class TestFaultEvent:
         assert event.fires_at(1000)
 
 
+class TestDirectConstructionValidation:
+    """Events built directly (not via the builders) — e.g. by spec
+    interpreters like repro.chaos — must enforce the same invariants."""
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(tick=-1, injector=lambda *a: None, name="x")
+
+    def test_non_callable_injector_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(tick=0, injector="boom", name="x")
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(tick=0, injector=lambda *a: None, name="x", period=0)
+
+    def test_until_not_after_start_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(
+                tick=5, injector=lambda *a: None, name="x",
+                period=2, until=5,
+            )
+
+
 class TestValidation:
     def test_negative_tick_rejected(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) on the MTD tracker edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mtd import (
+    INFINITE_MTD,
+    FlowDropTracker,
+    MtdClassifier,
+    aggregate_mtd,
+)
+
+ticks = st.integers(min_value=0, max_value=100_000)
+windows = st.integers(min_value=1, max_value=5_000)
+bad_windows = st.integers(min_value=-1_000, max_value=0)
+
+
+class TestEmptyHistory:
+    @given(tick=ticks, window=windows)
+    def test_untracked_key_has_infinite_mtd(self, tick, window):
+        tracker = FlowDropTracker()
+        assert tracker.mtd("ghost", tick, window) == INFINITE_MTD
+        assert tracker.drops_in_window("ghost", tick, window) == 0
+
+    @given(tick=ticks, window=windows)
+    def test_forgotten_key_has_infinite_mtd(self, tick, window):
+        tracker = FlowDropTracker()
+        tracker.record_drop("f", tick)
+        tracker.forget("f")
+        assert tracker.mtd("f", tick, window) == INFINITE_MTD
+
+    @given(tick=ticks, window=windows)
+    def test_aggregate_of_empty_keys_is_infinite(self, tick, window):
+        tracker = FlowDropTracker()
+        mtd, drops = aggregate_mtd(tracker, ["a", "b"], tick, window)
+        assert mtd == INFINITE_MTD
+        assert drops == 0
+
+
+class TestWindowValidation:
+    @given(window=bad_windows)
+    def test_mtd_rejects_non_positive_windows(self, window):
+        tracker = FlowDropTracker()
+        with pytest.raises(ValueError):
+            tracker.mtd("f", 100, window)
+
+    @given(window=bad_windows)
+    def test_drops_in_window_rejects_non_positive_windows(self, window):
+        tracker = FlowDropTracker()
+        with pytest.raises(ValueError):
+            tracker.drops_in_window("f", 100, window)
+
+    @given(window=bad_windows)
+    def test_aggregate_mtd_rejects_non_positive_windows(self, window):
+        tracker = FlowDropTracker()
+        with pytest.raises(ValueError):
+            aggregate_mtd(tracker, ["f"], 100, window)
+
+    @given(horizon=st.integers(min_value=-100, max_value=0))
+    def test_tracker_rejects_non_positive_horizon(self, horizon):
+        with pytest.raises(ValueError):
+            FlowDropTracker(horizon=horizon)
+
+
+class TestRecovery:
+    @given(
+        drops=st.lists(
+            st.integers(min_value=0, max_value=500),
+            min_size=1,
+            max_size=50,
+        ),
+        window=st.integers(min_value=1, max_value=600),
+        gap=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=60)
+    def test_mtd_is_monotone_after_drops_stop(self, drops, window, gap):
+        """Once a flow stops dropping, its MTD can only rise as time
+        passes — the self-healing property behind Eq. IV.5."""
+        tracker = FlowDropTracker(horizon=2000)
+        for t in sorted(drops):
+            tracker.record_drop("f", t)
+        last = max(drops)
+        t1 = last + gap
+        t2 = t1 + 1 + gap
+        assert tracker.mtd("f", t2, window) >= tracker.mtd("f", t1, window)
+
+    @given(
+        n_drops=st.integers(min_value=1, max_value=40),
+        window=st.integers(min_value=1, max_value=1000),
+    )
+    def test_mtd_eventually_returns_to_infinite(self, n_drops, window):
+        tracker = FlowDropTracker(horizon=2000)
+        for t in range(n_drops):
+            tracker.record_drop("f", t)
+        far = n_drops + max(window, tracker.horizon) + 1
+        assert tracker.mtd("f", far, window) == INFINITE_MTD
+
+    @given(
+        n_drops=st.integers(min_value=1, max_value=100),
+        window=windows,
+        tick=ticks,
+    )
+    def test_mtd_matches_window_over_drop_count(self, n_drops, window, tick):
+        tracker = FlowDropTracker(horizon=10**6)
+        for _ in range(n_drops):
+            tracker.record_drop("f", tick)
+        expected = min(window, tracker.horizon) / n_drops
+        assert tracker.mtd("f", tick, window) == pytest.approx(expected)
+
+
+class TestClassifierEdges:
+    @given(ref=st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_infinite_mtd_is_always_serviced_and_never_flagged(self, ref):
+        clf = MtdClassifier()
+        assert clf.service_probability(INFINITE_MTD, ref) == 1.0
+        assert not clf.is_attack_flow(INFINITE_MTD, ref)
+        assert not clf.should_block(INFINITE_MTD, ref)
+
+    @given(
+        mtd=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        ref=st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+    )
+    def test_service_probability_is_a_probability(self, mtd, ref):
+        p = MtdClassifier().service_probability(mtd, ref)
+        assert 0.0 <= p <= 1.0

@@ -26,6 +26,53 @@ class TestParser:
         assert args.seed == 7
 
 
+class TestChaosCommand:
+    def test_chaos_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--seed", "7", "--campaigns", "2", "--simulator",
+             "packet", "--floor", "0.5", "--no-shrink",
+             "--max-shrink-trials", "9"]
+        )
+        assert args.seed == 7
+        assert args.campaigns == 2
+        assert args.simulator == "packet"
+        assert args.floor == 0.5
+        assert args.no_shrink
+        assert args.max_shrink_trials == 9
+
+    def test_invalid_campaign_count_is_a_config_error(self, capsys):
+        assert main(["chaos", "--campaigns", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_clean_sweep_exits_zero(self, tmp_path, capsys):
+        rc = main(
+            ["chaos", "--seed", "2024", "--campaigns", "1", "--simulator",
+             "packet", "--artifact-dir", str(tmp_path / "art"),
+             "--csv", str(tmp_path / "csv")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign-000" in out
+        assert (tmp_path / "csv" / "chaos.csv").exists()
+        assert not (tmp_path / "art").exists()  # no violations, no artifacts
+
+    def test_violation_shrinks_writes_artifact_and_replays(
+        self, tmp_path, capsys
+    ):
+        art = tmp_path / "art"
+        rc = main(
+            ["chaos", "--seed", "2024", "--campaigns", "1", "--simulator",
+             "packet", "--floor", "0.99", "--max-shrink-trials", "2",
+             "--artifact-dir", str(art)]
+        )
+        assert rc == 3
+        assert "VIOLATED" in capsys.readouterr().out
+        artifacts = sorted(art.glob("reproducer-*.json"))
+        assert artifacts
+        assert main(["chaos", "--replay", str(artifacts[0])]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+
 class TestExecution:
     def test_run_fig03(self, capsys):
         assert main(["run", "fig03"]) == 0
