@@ -28,6 +28,9 @@ its evaluation depends on:
 * a deterministic chaos-campaign engine — seed-sampled fault + adaptive
   adversary compositions judged against resilience SLOs, with
   delta-debugged, replayable reproducer artifacts (:mod:`repro.chaos`),
+* a unified telemetry layer — metrics registry, tick-keyed decision
+  tracing with per-drop provenance, and a per-subsystem tick profiler,
+  observation-only by construction (:mod:`repro.telemetry`),
 * measurement/reporting helpers (:mod:`repro.analysis`) and one runner
   per paper figure (:mod:`repro.experiments`).
 
@@ -114,6 +117,15 @@ from .chaos import (
     sample_campaign,
     shrink_campaign,
 )
+from .telemetry import (
+    DROP_CAUSES,
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    current,
+    use,
+)
 
 __version__ = "1.0.0"
 
@@ -183,5 +195,12 @@ __all__ = [
     "run_chaos",
     "sample_campaign",
     "shrink_campaign",
+    "DROP_CAUSES",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "NullTelemetry",
+    "Telemetry",
+    "current",
+    "use",
     "__version__",
 ]

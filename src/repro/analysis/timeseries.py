@@ -8,10 +8,11 @@ one simulation pass.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List
+from typing import Callable, Hashable, List
 
 from ..net.engine import LinkMonitor
 from ..net.packet import Packet
+from ..telemetry import BinnedCounter
 
 
 class CategorySeriesMonitor(LinkMonitor):
@@ -37,16 +38,15 @@ class CategorySeriesMonitor(LinkMonitor):
             raise ValueError(f"bin_ticks must be >= 1, got {bin_ticks}")
         self.key_fn = key_fn
         self.bin_ticks = bin_ticks
-        self.binned: Dict[Hashable, Dict[int, int]] = {}
+        self.binned: BinnedCounter = BinnedCounter()
 
     def on_service(self, pkt: Packet, tick: int) -> None:
         super().on_service(pkt, tick)
         if not self._in_window(tick):
             return
         key = self.key_fn(pkt)
-        bins = self.binned.setdefault(key, {})
         b = (tick - self.start_tick) // self.bin_ticks
-        bins[b] = bins.get(b, 0) + 1
+        self.binned.observe(key, b)
 
     def rate_series(self, key: Hashable, n_bins: int) -> List[float]:
         """Per-bin service rate (packets per tick) for ``key``.

@@ -43,6 +43,7 @@ from ..inet.scenarios import InternetScenario, build_internet_scenario
 from ..inet.simulator import FluidSimulator
 from ..net.engine import LinkMonitor
 from ..sanitize import install_sanitizer
+from ..telemetry import NullTelemetry, Telemetry, current
 from ..traffic.adaptive import (
     AdaptiveCbrSource,
     AdaptiveShrewSource,
@@ -74,6 +75,10 @@ class Measurements:
     fault_log: List[Tuple[int, str]] = field(default_factory=list)
     sanitizer_violations: int = 0
     digest: str = ""
+    #: Traced drop totals by cause (telemetry provenance).  Deliberately
+    #: NOT part of the run digest: telemetry is observation-only, and the
+    #: digest contract predates it.
+    drop_provenance: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -106,6 +111,32 @@ def run_digest(spec: CampaignSpec, measurements: Measurements) -> str:
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _campaign_telemetry() -> NullTelemetry:
+    """Telemetry a campaign records drop provenance into.
+
+    The session's active telemetry when one is enabled (``repro chaos
+    --telemetry``); otherwise a private metrics-only instance, so the
+    floor oracle always sees cause attribution without the caller having
+    to opt in.
+    """
+    tel = current()
+    if tel.enabled:
+        return tel
+    return Telemetry(mode="metrics")
+
+
+def _provenance_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Drop totals attributable to one campaign on a shared telemetry."""
+    out: Dict[str, float] = {}
+    for cause, total in after.items():
+        delta = float(total) - float(before.get(cause, 0.0))
+        if delta > 0.0:
+            out[cause] = delta
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +263,9 @@ def _execute_packet(spec: CampaignSpec) -> Measurements:
         scenario.engine,
         None if spec.slo.sanitize == "off" else "record",
     )
+    tel = _campaign_telemetry()
+    scenario.engine.telemetry = tel
+    provenance_before = dict(tel.drop_provenance())
     scenario.engine.run(spec.total_ticks)
 
     legit_ids = {f.flow_id for f in scenario.legit_flows}
@@ -257,6 +291,9 @@ def _execute_packet(spec: CampaignSpec) -> Measurements:
         fault_log=list(schedule.log),
         sanitizer_violations=(
             len(sanitizer.report.violations) if sanitizer is not None else 0
+        ),
+        drop_provenance=_provenance_delta(
+            provenance_before, tel.drop_provenance()
         ),
     )
     measurements.digest = run_digest(spec, measurements)
@@ -324,6 +361,9 @@ def _execute_fluid(spec: CampaignSpec) -> Measurements:
     sanitizer = install_sanitizer(
         sim, None if spec.slo.sanitize == "off" else "record"
     )
+    tel = _campaign_telemetry()
+    sim.telemetry = tel
+    provenance_before = dict(tel.drop_provenance())
     result = sim.run(
         ticks=spec.total_ticks, warmup=spec.warmup_ticks, record_series=True
     )
@@ -346,6 +386,9 @@ def _execute_fluid(spec: CampaignSpec) -> Measurements:
         fault_log=list(schedule.log),
         sanitizer_violations=(
             len(sanitizer.report.violations) if sanitizer is not None else 0
+        ),
+        drop_provenance=_provenance_delta(
+            provenance_before, tel.drop_provenance()
         ),
     )
     measurements.digest = run_digest(spec, measurements)
@@ -383,5 +426,6 @@ def run_campaign(
         measurements.windows,
         measurements.sanitizer_violations,
         replay_matched,
+        drop_provenance=measurements.drop_provenance or None,
     )
     return CampaignResult(spec=spec, measurements=measurements, report=report)

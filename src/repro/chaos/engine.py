@@ -86,6 +86,7 @@ class CampaignJob:
             "ok": result.ok,
             "digest": result.digest,
             "verdicts": result.report.rows(),
+            "provenance": dict(result.measurements.drop_provenance),
             "artifact": None,
             "shrink": None,
         }

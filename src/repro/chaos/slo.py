@@ -26,7 +26,7 @@ steady state, not the ticks in which state is being rebuilt.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .spec import CampaignSpec, FaultSpec
 
@@ -125,8 +125,25 @@ def _overlaps(window: WindowShare, interval: Tuple[int, int]) -> bool:
 # ----------------------------------------------------------------------
 # oracles
 # ----------------------------------------------------------------------
+def _provenance_detail(drop_provenance: Optional[Dict[str, float]]) -> str:
+    """Cause attribution suffix for the floor verdict's detail line.
+
+    Top three traced drop causes by volume (ties broken by name), so a
+    failing floor immediately says *why* legitimate traffic lost share
+    — e.g. preferential drops at the defense vs plain queue overflow.
+    Empty when no provenance was traced.
+    """
+    if not drop_provenance:
+        return ""
+    top = sorted(drop_provenance.items(), key=lambda kv: (-kv[1], kv[0]))
+    parts = [f"{cause}={value:g}" for cause, value in top[:3]]
+    return "; traced drops: " + ", ".join(parts)
+
+
 def _floor_verdict(
-    spec: CampaignSpec, windows: List[WindowShare]
+    spec: CampaignSpec,
+    windows: List[WindowShare],
+    drop_provenance: Optional[Dict[str, float]] = None,
 ) -> SloVerdict:
     intervals = [impact_interval(f, spec) for f in spec.faults]
     judged = [
@@ -146,7 +163,7 @@ def _floor_verdict(
         f"min legit share {worst.legit_share:.4f} in window "
         f"{worst.index} [{worst.start}, {worst.stop}) vs floor "
         f"{spec.slo.floor:.4f} ({len(judged)}/{len(windows)} windows "
-        f"judged)",
+        f"judged)" + _provenance_detail(drop_provenance),
     )
 
 
@@ -222,11 +239,18 @@ def evaluate_slos(
     windows: List[WindowShare],
     sanitizer_violations: int,
     replay_matched: Optional[bool] = None,
+    drop_provenance: Optional[Dict[str, float]] = None,
 ) -> SloReport:
-    """Judge one campaign run against its full SLO catalog."""
+    """Judge one campaign run against its full SLO catalog.
+
+    ``drop_provenance`` is the campaign's traced per-cause drop totals
+    (see :meth:`repro.telemetry.Telemetry.drop_provenance`); when given,
+    the floor verdict's detail attributes the loss to its top causes.
+    Provenance never changes a verdict's ``ok`` — it annotates.
+    """
     return SloReport(
         verdicts=[
-            _floor_verdict(spec, windows),
+            _floor_verdict(spec, windows, drop_provenance),
             _recovery_verdict(spec, windows),
             _sanitizer_verdict(spec, sanitizer_violations),
             _replay_verdict(replay_matched),

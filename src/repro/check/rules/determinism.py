@@ -14,6 +14,15 @@ packages that means:
 
 Injected clocks (``repro.runner``'s ``clock=time.monotonic`` parameters)
 live outside the simulation scope and are exempt by construction.
+
+The telemetry package is in scope — its registry, event log, and
+exporters must be tick-driven so traces replay byte-identically — with
+exactly one carve-out: :data:`WALL_CLOCK_ALLOWED_MODULES` exempts
+``repro.telemetry.profiler`` from the *wall-clock* findings (and only
+those).  The tick profiler's entire job is attributing real elapsed time
+to subsystems; its measurements never feed back into simulation state,
+and its pickle support erases them so checkpoints and digests stay
+wall-clock-free.
 """
 
 from __future__ import annotations
@@ -43,6 +52,11 @@ WALL_CLOCK_CALLS = frozenset(
     }
 )
 
+#: Modules exempt from the wall-clock findings only (random/numpy rules
+#: still apply).  Sole entry: the tick profiler, whose purpose is wall
+#: time and whose state never reaches digests or checkpoints.
+WALL_CLOCK_ALLOWED_MODULES = frozenset({"repro.telemetry.profiler"})
+
 #: ``random`` module attributes that are safe: seeded RNG constructors.
 SEEDED_RANDOM_OK = frozenset({"random.Random", "random.SystemRandom"})
 
@@ -68,7 +82,13 @@ class DeterminismRule(Rule):
         "wall-clock reads, global random.* calls, or legacy numpy.random "
         "API in simulation code break (scenario, seed) determinism"
     )
-    scope = ("repro.net", "repro.inet", "repro.core", "repro.traffic")
+    scope = (
+        "repro.net",
+        "repro.inet",
+        "repro.core",
+        "repro.traffic",
+        "repro.telemetry",
+    )
 
     def check(self, module) -> Iterator[Diagnostic]:
         aliases = import_aliases(module.tree)
@@ -79,6 +99,8 @@ class DeterminismRule(Rule):
             if name is None:
                 continue
             if name in WALL_CLOCK_CALLS:
+                if module.module in WALL_CLOCK_ALLOWED_MODULES:
+                    continue
                 yield self.diagnostic(
                     module,
                     node.lineno,

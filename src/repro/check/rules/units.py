@@ -20,38 +20,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
+from ...units import SUFFIX_DIMENSIONS, dimension_of
 from ..astutil import terminal_identifier
 from ..diagnostics import Diagnostic
 from . import Rule, register
 
-#: Suffix -> dimension class, longest suffix wins.  Keyed off the
-#: conventions of :mod:`repro.units` (tick/packet vs seconds/Mbps worlds).
-SUFFIX_DIMENSIONS = (
-    ("pkts_per_tick", "rate[pkt/tick]"),
-    ("per_tick", "rate[pkt/tick]"),
-    ("pkts_per_second", "rate[pkt/s]"),
-    ("mbps", "rate[Mbit/s]"),
-    ("bps", "rate[bit/s]"),
-    ("megabytes", "volume[MB]"),
-    ("bytes", "volume[B]"),
-    ("bits", "volume[bit]"),
-    ("packets", "volume[pkt]"),
-    ("pkts", "volume[pkt]"),
-    ("seconds", "time[s]"),
-    ("secs", "time[s]"),
-    ("ticks", "time[tick]"),
-)
-
-
-def dimension_of(name: Optional[str]) -> Optional[str]:
-    """Dimension class of an identifier, from its unit suffix."""
-    if name is None:
-        return None
-    lowered = name.lower()
-    for suffix, dim in SUFFIX_DIMENSIONS:
-        if lowered == suffix or lowered.endswith("_" + suffix):
-            return dim
-    return None
+__all__ = ["SUFFIX_DIMENSIONS", "UnitsConsistencyRule", "dimension_of"]
 
 
 def _operand_dimension(node: ast.AST) -> Optional[str]:

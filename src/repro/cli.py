@@ -16,6 +16,17 @@ Commands
     re-executes and verifies (see :mod:`repro.chaos`).
 ``check [options]``
     The flocheck static-analysis rules (see :mod:`repro.check`).
+``metrics PATH [--profile]``
+    Render a ``metrics.json`` telemetry export (or the directory holding
+    one) as a table.
+
+``run`` and ``chaos`` accept ``--telemetry {off,metrics,trace,jsonl}``:
+``metrics`` records the registry (counters, gauges, series), ``trace``
+additionally logs every FLoc decision event keyed by simulation tick
+(``jsonl`` is an alias emphasising the event-log artifact), and both
+profile per-subsystem wall time.  Exports land in ``--telemetry-dir``
+(default ``telemetry/``).  Telemetry is observation-only: results and
+digests are byte-identical with it on or off.
 
 Scale/duration flags apply to the functional figures; internet-scale
 figures take ``--variants``.  Every ``run`` is supervised (see
@@ -88,6 +99,29 @@ def _runner_log(message: str) -> None:
     sys.stderr.write(f"[runner] {message}\n")
 
 
+def _telemetry_from_args(args):
+    """Build the session telemetry the ``--telemetry`` flag asked for."""
+    from .telemetry import NULL_TELEMETRY, Telemetry
+
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        return NULL_TELEMETRY
+    # "jsonl" is the tracing mode named after its artifact
+    return Telemetry(
+        mode="trace" if mode == "jsonl" else mode, profile=True
+    )
+
+
+def _export_telemetry(args, tel) -> None:
+    """Write every telemetry artifact and say where each one went."""
+    if not tel.enabled:
+        return
+    from .telemetry.exporters import export_all
+
+    for kind, path in sorted(export_all(tel, args.telemetry_dir).items()):
+        sys.stdout.write(f"telemetry {kind}: {path}\n")
+
+
 def _emit(args, name: str, headers, rows, title: str) -> None:
     """Print a result table; optionally mirror it to ``--csv DIR``."""
     sys.stdout.write(format_table(headers, rows, title=title))
@@ -126,7 +160,12 @@ def _run_figure(args) -> int:
         sanitize=settings.sanitize,
         log=_runner_log,
     )
-    report = runner.run_units(job.units, job.fingerprint)
+    from .telemetry import use
+
+    tel = _telemetry_from_args(args)
+    with use(tel):
+        report = runner.run_units(job.units, job.fingerprint)
+    _export_telemetry(args, tel)
     output = job.finalize(report.results)
     _emit(args, args.figure, output.headers, output.rows, FIGURES[args.figure])
     for note in output.notes:
@@ -190,7 +229,12 @@ def _chaos(args) -> int:
     from .runner import CheckpointStore
 
     if args.replay:
-        outcome = replay_artifact(args.replay)
+        from .telemetry import use
+
+        tel = _telemetry_from_args(args)
+        with use(tel):
+            outcome = replay_artifact(args.replay)
+        _export_telemetry(args, tel)
         _emit(
             args,
             "chaos-replay",
@@ -223,12 +267,17 @@ def _chaos(args) -> int:
         artifact_dir=args.artifact_dir,
     )
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
-    report = run_chaos(
-        options,
-        store=store,
-        deadline_seconds=args.deadline,
-        log=_runner_log,
-    )
+    from .telemetry import use
+
+    tel = _telemetry_from_args(args)
+    with use(tel):
+        report = run_chaos(
+            options,
+            store=store,
+            deadline_seconds=args.deadline,
+            log=_runner_log,
+        )
+    _export_telemetry(args, tel)
     rows = []
     for i, campaign in enumerate(report.campaigns):
         violated = [v[0] for v in campaign["verdicts"] if v[1] != "ok"]
@@ -262,6 +311,58 @@ def _chaos(args) -> int:
         )
         return EXIT_CODES["partial"]
     return EXIT_CODES[report.job.status]
+
+
+def _metric_cell(value) -> str:
+    """Compact one-cell rendering of a metric's snapshot value."""
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        shown = ", ".join(f"{k}={v}" for k, v in items[:6])
+        return shown + (", ..." if len(items) > 6 else "")
+    if isinstance(value, list):
+        if not value:
+            return "(no points)"
+        return f"{len(value)} point(s), last={value[-1]}"
+    return str(value)
+
+
+def _metrics(args) -> int:
+    from .telemetry.exporters import load_metrics_json
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "metrics.json")
+    payload = load_metrics_json(path)
+    rows = [
+        [name, entry.get("kind", "?"), _metric_cell(entry.get("value"))]
+        for name, entry in sorted(payload["metrics"].items())
+    ]
+    sys.stdout.write(
+        format_table(
+            ["metric", "kind", "value"],
+            rows,
+            title=f"telemetry export {path} (mode {payload.get('mode', '?')})",
+        )
+    )
+    sys.stdout.write("\n")
+    trace = payload.get("trace")
+    if trace:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(trace.get("counts_by_kind", {}).items())
+        )
+        sys.stdout.write(
+            f"trace: {trace.get('emitted_total', 0)} event(s)"
+            + (f" ({kinds})" if kinds else "")
+            + "\n"
+        )
+    profile = payload.get("profile")
+    if profile and args.profile:
+        for subsystem, seconds in sorted(
+            profile.get("totals_seconds", {}).items()
+        ):
+            sys.stdout.write(f"profile: {subsystem} {seconds:.6f}s\n")
+    return 0
 
 
 def _check(args) -> int:
@@ -343,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, metavar="N", default=1,
         help="max retries per unit for transient failures (default 1)",
     )
+    _add_telemetry(run)
 
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
     _add_common(quick)
@@ -390,6 +492,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "still fails identically (other flags ignored)")
     chaos.add_argument("--csv", metavar="DIR", default=None,
                        help="also write the sweep table to DIR/chaos.csv")
+    _add_telemetry(chaos)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a telemetry metrics.json export as a table"
+    )
+    metrics.add_argument(
+        "path", metavar="PATH",
+        help="a metrics.json file, or the --telemetry-dir that holds one",
+    )
+    metrics.add_argument(
+        "--profile", action="store_true",
+        help="also print the per-subsystem wall-time profile, if recorded",
+    )
 
     check = sub.add_parser(
         "check", help="run the flocheck static-analysis rules"
@@ -425,6 +540,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", choices=("off", "metrics", "trace", "jsonl"),
+        default="off",
+        help="record telemetry: 'metrics' keeps the registry, 'trace' "
+             "additionally logs per-tick decision events ('jsonl' is an "
+             "alias); results are identical either way",
+    )
+    parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default="telemetry",
+        help="directory the telemetry exports are written to "
+             "(default: telemetry/)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.08,
                         help="flow/capacity scale factor (1.0 = paper)")
@@ -451,6 +581,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _chaos(args)
         if args.command == "check":
             return _check(args)
+        if args.command == "metrics":
+            return _metrics(args)
         return _quickstart(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

@@ -338,6 +338,45 @@ def aggregate_legitimate_paths(
     ]
 
 
+def _is_attack_group(key: GroupKey) -> bool:
+    return bool(key) and isinstance(key[0], str) and key[0] == "AGG-A"
+
+
+def plan_moves(
+    old: "AggregationPlan",
+    new: "AggregationPlan",
+    pids: Iterable[PathId],
+) -> List[Tuple[PathId, GroupKey, GroupKey, str]]:
+    """Diff two aggregation plans over ``pids`` (pure; used by telemetry).
+
+    Returns one ``(pid, old_key, new_key, kind)`` tuple per path whose
+    group assignment changed, where ``kind`` is:
+
+    * ``"demote"`` — the path entered an attack aggregate (Algorithm 1
+      folded it under an ``AGG-A`` identifier),
+    * ``"promote"`` — the path left an attack aggregate (its conformance
+      recovered above ``E_th``),
+    * ``"regroup"`` — it moved between non-attack groups (Eq. IV.8
+      legitimate-path merges reshuffling).
+    """
+    moves: List[Tuple[PathId, GroupKey, GroupKey, str]] = []
+    for pid in pids:
+        old_key = old.group(pid)
+        new_key = new.group(pid)
+        if old_key == new_key:
+            continue
+        was_attack = _is_attack_group(old_key)
+        now_attack = _is_attack_group(new_key)
+        if now_attack and not was_attack:
+            kind = "demote"
+        elif was_attack and not now_attack:
+            kind = "promote"
+        else:
+            kind = "regroup"
+        moves.append((pid, old_key, new_key, kind))
+    return moves
+
+
 # ----------------------------------------------------------------------
 # combined plan
 # ----------------------------------------------------------------------

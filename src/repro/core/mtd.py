@@ -125,6 +125,19 @@ class MtdClassifier:
             return False
         return mtd < self.block_mtd_fraction * reference_mtd
 
+    def classification(self, mtd: float, reference_mtd: float) -> str:
+        """Full decision for one flow: ``block``, ``attack`` or ``benign``.
+
+        Mirrors the precedence the identification loop applies — the
+        block test subsumes the attack test — so telemetry traces can
+        label a transition with a single word.
+        """
+        if self.should_block(mtd, reference_mtd):
+            return "block"
+        if self.is_attack_flow(mtd, reference_mtd):
+            return "attack"
+        return "benign"
+
     def is_attack_path(
         self,
         aggregate_mtd: float,

@@ -34,7 +34,7 @@ from ..errors import SimulationError
 from ..net.packet import DATA, SYN, Packet
 from ..net.policy import LinkPolicy
 from ..tcp import model
-from .aggregation import AggregationPlan, build_plan
+from .aggregation import AggregationPlan, build_plan, plan_moves
 from .capability import CapabilityIssuer
 from .config import FLocConfig
 from .conformance import ConformanceTracker
@@ -178,6 +178,11 @@ class FLocPolicy(LinkPolicy):
     def on_tick(self, tick: int) -> None:
         if self._warmup_until is not None and tick >= self._warmup_until:
             self._warmup_until = None
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.registry.histogram("floc_queue_depth_packets").observe(
+                float(len(self.link.queue))
+            )
         for group in self.groups.values():
             group.bucket.on_tick(tick)
         # measurement phase may be shifted by an injected clock jitter; the
@@ -285,9 +290,12 @@ class FLocPolicy(LinkPolicy):
                 return False
 
         bucket = group.bucket
+        tel = self.engine.telemetry
         if mode is QueueMode.CONGESTED:
             bucket.use_increased = True
             if bucket.request():
+                if tel.enabled:
+                    tel.registry.counter("token_grants_count").inc()
                 return True
             if self.qm.random_drop(q_curr):
                 self._pending_drop_cause = "random"
@@ -296,9 +304,15 @@ class FLocPolicy(LinkPolicy):
         # flooding mode: strict tokens at the base bucket size
         bucket.use_increased = False
         if bucket.request():
+            if tel.enabled:
+                tel.registry.counter("token_grants_count").inc()
             return True
         self._pending_drop_cause = "token"
         return False
+
+    def pending_drop_cause(self) -> Optional[str]:
+        """Telemetry peek: the cause :meth:`on_drop` is about to consume."""
+        return self._pending_drop_cause
 
     def on_drop(self, pkt: Packet, tick: int) -> None:
         cause = self._pending_drop_cause or "overflow"
@@ -381,6 +395,7 @@ class FLocPolicy(LinkPolicy):
                 group.measured_ref_mtd = None
 
         # attack-flow identification + conformance update, per path
+        tel = self.engine.telemetry
         for pid, state in self.paths.items():
             group = self._group_state(pid, tick)
             ref = self._reference_mtd(group)
@@ -398,6 +413,13 @@ class FLocPolicy(LinkPolicy):
                     is_attack = excess > 1.0
                     blocked = self.drop_filter.should_block(key, tick, ref)
                 if blocked:
+                    if tel.enabled and key not in self._blocked:
+                        tel.registry.counter("mtd_blocks_count").inc()
+                        if tel.trace_enabled:
+                            tel.emit_event(
+                                tick, "mtd_block", "mtd",
+                                path_id=pid, unit=repr(key),
+                            )
                     self._blocked[key] = tick + cfg.block_ticks
                     attack.add(key)
                 elif is_attack:
@@ -412,12 +434,47 @@ class FLocPolicy(LinkPolicy):
             # adaptive source backs off within an RTT, well inside one
             # measurement interval, so only persistence marks an attacker.
             # (This is Eq. IV.4's k-period averaging expressed as state.)
+            old_attack = state.attack_flows
             state.attack_flows = {
                 key for key in attack if streaks[key] >= 2
             }
-            self.conformance.update(
+            if tel.enabled and state.attack_flows != old_attack:
+                identified = state.attack_flows - old_attack
+                cleared = old_attack - state.attack_flows
+                tel.registry.counter("mtd_transitions_count").inc(
+                    float(len(identified) + len(cleared))
+                )
+                if tel.trace_enabled:
+                    for key in sorted(identified, key=repr):
+                        tel.emit_event(
+                            tick, "mtd_identify", "mtd",
+                            path_id=pid, unit=repr(key),
+                        )
+                    for key in sorted(cleared, key=repr):
+                        tel.emit_event(
+                            tick, "mtd_clear", "mtd",
+                            path_id=pid, unit=repr(key),
+                        )
+            prev_conf = self.conformance.value(pid)
+            new_conf = self.conformance.update(
                 pid, len(state.flows), len(state.attack_flows)
             )
+            if tel.enabled:
+                threshold = cfg.conformance_threshold
+                prev_class = ConformanceTracker.classify_value(
+                    prev_conf, threshold
+                )
+                new_class = ConformanceTracker.classify_value(
+                    new_conf, threshold
+                )
+                if prev_class != new_class:
+                    tel.registry.counter("conformance_flips_count").inc()
+                    if tel.trace_enabled:
+                        tel.emit_event(
+                            tick, "conformance_flip", "conformance",
+                            path_id=pid, state=new_class,
+                            value_ratio=new_conf,
+                        )
 
         # scalable mode: recompute the array-selection degree k so the
         # legitimate-flow false-positive ratio stays within budget even
@@ -450,6 +507,12 @@ class FLocPolicy(LinkPolicy):
         if self.tracker is not None:
             self.tracker.forget_stale(tick)
 
+        if tel.enabled:
+            reg = tel.registry
+            reg.gauge("floc_paths_count").set(float(len(self.paths)))
+            reg.gauge("floc_groups_count").set(float(len(self.groups)))
+            reg.gauge("floc_blocked_units_count").set(float(len(self._blocked)))
+
     def _aggregate(self, tick: int) -> None:
         cfg = self.cfg
         pids = list(self.paths.keys())
@@ -462,6 +525,7 @@ class FLocPolicy(LinkPolicy):
             pids, cfg.conformance_threshold
         )
         flow_counts = {pid: float(len(s.flows)) for pid, s in self.paths.items()}
+        old_plan = self.plan
         self.plan = build_plan(
             legit,
             attack,
@@ -471,6 +535,20 @@ class FLocPolicy(LinkPolicy):
             bandwidth_increase_cap=cfg.legit_agg_bandwidth_cap,
             legitimate_aggregation=cfg.legitimate_aggregation,
         )
+        tel = self.engine.telemetry
+        if tel.enabled:
+            moves = plan_moves(old_plan, self.plan, pids)
+            if moves:
+                tel.registry.counter("aggregation_moves_count").inc(
+                    float(len(moves))
+                )
+                if tel.trace_enabled:
+                    for moved_pid, old_key, new_key, kind in moves:
+                        tel.emit_event(
+                            tick, f"aggregation_{kind}", "aggregation",
+                            path_id=moved_pid, old_group=old_key,
+                            new_group=new_key,
+                        )
         self.groups.clear()
         self._rebuild_groups(tick)
 

@@ -44,6 +44,8 @@ class PathTokenBucket:
         "n_flows",
         "drops_this_period",
         "last_period_drops",
+        "requests_total",
+        "denials_total",
     )
 
     def __init__(
@@ -57,6 +59,8 @@ class PathTokenBucket:
         self.use_increased = use_increased
         self.drops_this_period = 0
         self.last_period_drops = 0
+        self.requests_total = 0
+        self.denials_total = 0
         self._next_refill = now
         self.tokens = 0.0
         self.set_params(bandwidth, rtt, n_flows)
@@ -119,9 +123,11 @@ class PathTokenBucket:
 
     def request(self, amount: float = 1.0) -> bool:
         """Consume ``amount`` tokens if available; return success."""
+        self.requests_total += 1
         if self.tokens >= amount:
             self.tokens -= amount
             return True
+        self.denials_total += 1
         return False
 
     def record_drop(self) -> None:

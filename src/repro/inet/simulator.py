@@ -37,6 +37,7 @@ import numpy as np
 from ..core.aggregation import build_plan
 from ..core.conformance import ConformanceTracker
 from ..errors import ConfigError
+from ..telemetry import NullTelemetry, current
 from .scenarios import InternetScenario
 
 STRATEGIES = ("nd", "ff", "floc")
@@ -87,7 +88,11 @@ class FluidSimulator:
         # repro.faults.FaultSchedule installs on either simulator) and the
         # post-restart warm-up window of the target defense
         self._tick_hooks: List[Callable[["FluidSimulator", int], None]] = []
+        self._hook_labels: List[str] = []
         self._warmup_until: Optional[int] = None
+        # observation only: the current telemetry facade (NULL_TELEMETRY
+        # unless the simulator is built inside a repro.telemetry.use block)
+        self.telemetry: NullTelemetry = current()
 
         scn = scenario
         self.n_flows = scn.n_flows
@@ -134,6 +139,12 @@ class FluidSimulator:
     ) -> None:
         """Run ``hook(sim, tick)`` at the start of every tick."""
         self._tick_hooks.append(hook)
+        label = (
+            getattr(hook, "telemetry_label", None)
+            or getattr(hook, "__name__", None)
+            or type(hook).__name__
+        )
+        self._hook_labels.append(str(label))
 
     def restart_defense(self, now: int, warmup_ticks: int = 50) -> None:
         """Simulate a restart of the target router's defense.
@@ -256,12 +267,28 @@ class FluidSimulator:
             else:
                 # post-restart warm-up: no per-path state to allocate by,
                 # so degrade to neutral admission while rates re-smooth
-                return self._admit_nd(arrivals)
+                admitted = self._admit_nd(arrivals)
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.record_fluid_drop_volumes(
+                        tick, neutral=float(arrivals.sum() - admitted.sum())
+                    )
+                return admitted
         cap = self.scn.target_capacity
+        tel = self.telemetry
         if self._group_index is None or (
             tick > 0 and tick % self.aggregation_interval == 0
         ):
+            previous_groups = self.n_groups
             self._rebuild_groups()
+            if tel.enabled:
+                tel.registry.gauge("fluid_groups_count").set(float(self.n_groups))
+                if tel.trace_enabled and self.n_groups != previous_groups:
+                    tel.emit_event(
+                        tick, "fluid_regroup", "aggregation",
+                        n_groups=self.n_groups,
+                        previous_count=previous_groups,
+                    )
         gidx = self._group_index
         shares = self._group_shares
         n_groups = self.n_groups
@@ -283,7 +310,21 @@ class FluidSimulator:
         # the MTD reference classifies as responsive, so they never flag.
         tcp_floor = 2.5 / self.rtt
         bar = np.maximum(self.attack_flag_factor * fair[gidx], tcp_floor)
+        previously_flagged = self._flagged
         self._flagged = (self._rate_ewma > bar) & oversub[gidx]
+        if tel.enabled:
+            newly = int(np.count_nonzero(self._flagged & ~previously_flagged))
+            cleared = int(np.count_nonzero(previously_flagged & ~self._flagged))
+            if newly or cleared:
+                tel.registry.counter("fluid_flag_transitions_count").inc(
+                    float(newly + cleared)
+                )
+                if tel.trace_enabled:
+                    tel.emit_event(
+                        tick, "fluid_flag", "mtd",
+                        newly_flagged=newly, cleared=cleared,
+                        flagged_total=int(np.count_nonzero(self._flagged)),
+                    )
         # Eq.-(IV.5) preferential cap: flagged flows get at most fair share
         capped = np.where(self._flagged, np.minimum(arrivals, fair[gidx]), arrivals)
 
@@ -307,6 +348,17 @@ class FluidSimulator:
                     leftover -= grant.sum()
                 if leftover <= 1e-9:
                     break
+        if tel.enabled:
+            # drop provenance, fluid analogue: a flagged flow's unmet
+            # demand is the Eq.-(IV.5) preferential cap; an unflagged
+            # flow's is the group allocation limit (the token-bucket
+            # stage of the packet engine)
+            deficit = np.maximum(arrivals - admitted, 0.0)
+            tel.record_fluid_drop_volumes(
+                tick,
+                preferential=float(deficit[self._flagged].sum()),
+                token=float(deficit[~self._flagged].sum()),
+            )
         return admitted
 
     # ------------------------------------------------------------------
@@ -339,12 +391,24 @@ class FluidSimulator:
             return False
         tick = self._run_tick
         cap = self.scn.target_capacity
-        for hook in self._tick_hooks:
-            hook(self, tick)
+        tel = self.telemetry
+        prof = tel.profiler if tel.profile_enabled else None
+        clock = prof.start() if prof is not None else 0.0
+        if prof is None:
+            for hook in self._tick_hooks:
+                hook(self, tick)
+        else:
+            for hook, label in zip(self._tick_hooks, self._hook_labels):
+                hook(self, tick)
+                clock = prof.lap(label, clock)
         rates = self._send_rates()
         self._rate_ewma += 0.1 * (rates - self._rate_ewma)
+        if prof is not None:
+            clock = prof.lap("sources", clock)
         surv = self._upstream_survival(rates)
         arrivals = rates * surv[self.origin]
+        if prof is not None:
+            clock = prof.lap("queueing", clock)
         if self.strategy == "nd":
             admitted = self._admit_nd(arrivals)
         elif self.strategy == "ff":
@@ -353,6 +417,12 @@ class FluidSimulator:
             admitted = self._admit_floc(arrivals, tick)
             if tick % self._conf_interval == 0:
                 self._update_conformance()
+        if prof is not None:
+            clock = prof.lap("policy", clock)
+        if tel.enabled and tick % tel.sample_interval_ticks == 0:
+            tel.registry.series("fluid_admitted_pkts_per_tick").sample(
+                tick, float(admitted.sum())
+            )
         # TCP fluid update for legitimate flows
         p_drop = 1.0 - np.divide(
             admitted, rates, out=np.ones_like(rates), where=rates > 1e-12
@@ -376,12 +446,17 @@ class FluidSimulator:
                         float(admitted[self.cats == 2].sum() / cap),
                     )
                 )
+        if prof is not None:
+            prof.lap("tcp", clock)
+            prof.tick_done()
         self._run_tick = tick + 1
         return self._run_tick < self._run_ticks
 
     def finish_run(self) -> FluidResult:
         """Assemble the :class:`FluidResult` for a completed (or salvaged
         partial) run."""
+        if self.telemetry.enabled:
+            self.telemetry.scrape_fluid(self)
         cap = self.scn.target_capacity
         acc = self._acc
         measured_ticks = self._measured_ticks

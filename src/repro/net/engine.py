@@ -33,6 +33,7 @@ from typing import (
 )
 
 from ..errors import SimulationError
+from ..telemetry import LabeledCounter, NullTelemetry, TickSeries, current
 from ..units import DEFAULT_SCALE, UnitScale
 from .packet import ACK, DATA, SYN, SYNACK, Packet
 from .topology import Link, Topology
@@ -88,6 +89,12 @@ class LinkMonitor:
     the paper measures bandwidth "in a 20 to 80 second interval"
     (Section VI-B).  ``per_tick_service`` optionally keeps a full time
     series for figure-style output.
+
+    The containers are :mod:`repro.telemetry` primitives —
+    :class:`~repro.telemetry.LabeledCounter` (a ``dict`` subclass) and
+    :class:`~repro.telemetry.TickSeries` (a ``list`` subclass) — so the
+    monitor doubles as a registry adapter while keeping the historical
+    dict/list public API, equality, and flush semantics bit-identical.
     """
 
     def __init__(
@@ -99,11 +106,9 @@ class LinkMonitor:
         self.start_tick = start_tick
         self.stop_tick = stop_tick
         self.record_series = record_series
-        self.service_counts: Dict[int, int] = {}
-        self.drop_counts: Dict[int, int] = {}
-        self.series: List[Tuple[int, int]] = []  # (tick, serviced-count)
-        self._tick_serviced = 0
-        self._series_tick = -1
+        self.service_counts: LabeledCounter = LabeledCounter()
+        self.drop_counts: LabeledCounter = LabeledCounter()
+        self.series: TickSeries = TickSeries()  # (tick, serviced-count)
 
     def _in_window(self, tick: int) -> bool:
         if tick < self.start_tick:
@@ -114,22 +119,15 @@ class LinkMonitor:
         """Called by the engine when ``pkt`` is serviced on the link."""
         if not self._in_window(tick):
             return
-        counts = self.service_counts
-        counts[pkt.flow_id] = counts.get(pkt.flow_id, 0) + 1
+        self.service_counts.inc(pkt.flow_id)
         if self.record_series:
-            if tick != self._series_tick:
-                if self._series_tick >= 0:
-                    self.series.append((self._series_tick, self._tick_serviced))
-                self._series_tick = tick
-                self._tick_serviced = 0
-            self._tick_serviced += 1
+            self.series.observe(tick)
 
     def on_drop(self, pkt: Packet, tick: int) -> None:
         """Called by the engine when ``pkt`` is dropped on the link."""
         if not self._in_window(tick):
             return
-        counts = self.drop_counts
-        counts[pkt.flow_id] = counts.get(pkt.flow_id, 0) + 1
+        self.drop_counts.inc(pkt.flow_id)
 
     def flush(self) -> None:
         """Finalise the in-progress series point.
@@ -140,10 +138,15 @@ class LinkMonitor:
         :meth:`Engine.run` segment completes; it is idempotent, and safe
         across segmented runs because ticks are monotonic.
         """
-        if self.record_series and self._series_tick >= 0:
-            self.series.append((self._series_tick, self._tick_serviced))
-            self._series_tick = -1
-            self._tick_serviced = 0
+        self.series.flush()
+
+    @property
+    def _series_tick(self) -> int:
+        return self.series.pending_tick
+
+    @property
+    def _tick_serviced(self) -> int:
+        return self.series.pending_value
 
     @property
     def total_serviced(self) -> int:
@@ -184,6 +187,10 @@ class Engine:
         self._scheduled: Dict[int, List[Tuple[Optional[Link], Packet]]] = {}
         self._started = False
         self._hooks_per_tick: List[Callable[["Engine", int], None]] = []
+        self._hook_labels: List[str] = []
+        # observation only: the current telemetry facade (NULL_TELEMETRY
+        # unless the engine is built inside a repro.telemetry.use block)
+        self.telemetry: NullTelemetry = current()
         # conservation ledger (see repro.sanitize): every packet handed to
         # emit() must eventually be delivered or counted in some link's
         # dropped_total, with the difference in flight
@@ -269,6 +276,12 @@ class Engine:
     def add_tick_hook(self, hook: Callable[["Engine", int], None]) -> None:
         """Run ``hook(engine, tick)`` at the start of every tick."""
         self._hooks_per_tick.append(hook)
+        label = (
+            getattr(hook, "telemetry_label", None)
+            or getattr(hook, "__name__", None)
+            or type(hook).__name__
+        )
+        self._hook_labels.append(str(label))
 
     # ------------------------------------------------------------------
     # packet movement
@@ -306,6 +319,8 @@ class Engine:
         for link in self.topology.links():
             for mon in link.monitors:
                 mon.flush()
+        if self.telemetry.enabled:
+            self.telemetry.scrape_engine(self)
 
     def run_seconds(self, seconds: float) -> None:
         """Advance the simulation by a wall-clock duration in sim time."""
@@ -322,6 +337,9 @@ class Engine:
 
     def _step(self) -> None:
         tick = self.tick
+        tel = self.telemetry
+        prof = tel.profiler if tel.profile_enabled else None
+        clock = prof.start() if prof is not None else 0.0
         # phase 0: arrivals scheduled last tick become this tick's work.
         for link in self._touched_next:
             if link.arrivals_next:
@@ -337,27 +355,47 @@ class Engine:
             else:
                 dest.arrivals.append(pkt)
                 self._active[dest] = None
+        if prof is not None:
+            clock = prof.lap("arrivals", clock)
 
-        for hook in self._hooks_per_tick:
-            hook(self, tick)
+        if prof is None:
+            for hook in self._hooks_per_tick:
+                hook(self, tick)
+        else:
+            # attribute each hook (sanitizer, fault schedule, ...) its own
+            # wall-time bucket
+            for hook, label in zip(self._hooks_per_tick, self._hook_labels):
+                hook(self, tick)
+                clock = prof.lap(label, clock)
 
         # policies tick even when their link is idle (timers, state expiry)
         for link in self._policy_links:
             link.policy.on_tick(tick)
+        if prof is not None:
+            clock = prof.lap("policy", clock)
 
         # phase 1: deliveries (end hosts react: sinks ACK, sources absorb).
         for pkt in self._deliveries:
             self._deliver(pkt, tick)
+        if prof is not None:
+            clock = prof.lap("delivery", clock)
 
         # phase 2: source emissions.
         for source in self._sources:
             source.on_tick(self, tick)
+        if prof is not None:
+            clock = prof.lap("sources", clock)
 
         # phase 3: link processing.
         active = self._active
         self._active = {}
         for link in active:
             self._process_link(link, tick)
+        if prof is not None:
+            prof.lap("queueing", clock)
+            prof.tick_done()
+        if tel.enabled:
+            tel.sample_engine(self, tick)
 
         self.tick = tick + 1
 
@@ -480,8 +518,18 @@ class Engine:
 
     def _drop(self, link: Link, pkt: Packet, tick: int) -> None:
         link.dropped_total += 1
-        if link.policy is not None:
-            link.policy.on_drop(pkt, tick)
+        policy = link.policy
+        if policy is not None:
+            tel = self.telemetry
+            if tel.enabled:
+                # peek the cause before on_drop consumes the policy's
+                # pending-cause state; a policy that does not attribute
+                # its drops falls back to the terminal stage
+                cause = policy.pending_drop_cause() or "overflow"
+                tel.record_drop(tick, cause, pkt.flow_id, pkt.path_id)
+            policy.on_drop(pkt, tick)
+        elif self.telemetry.enabled:
+            self.telemetry.record_drop(tick, "overflow", pkt.flow_id, pkt.path_id)
         for mon in link.monitors:
             mon.on_drop(pkt, tick)
 
@@ -489,6 +537,10 @@ class Engine:
         """Loss on a failed link: counted and monitored, but not reported
         to the admission policy (the drop is not a congestion signal)."""
         link.dropped_total += 1
+        if self.telemetry.enabled:
+            self.telemetry.record_drop(
+                self.tick, "dead_link", pkt.flow_id, pkt.path_id
+            )
         for mon in link.monitors:
             mon.on_drop(pkt, self.tick)
 

@@ -56,6 +56,18 @@ class LinkPolicy:
     def on_drop(self, pkt: Packet, tick: int) -> None:
         """Notification that ``pkt`` was dropped on this link."""
 
+    def pending_drop_cause(self) -> Optional[str]:
+        """Cause label for the drop about to be reported via :meth:`on_drop`.
+
+        The engine peeks this (telemetry drop provenance) immediately
+        before calling :meth:`on_drop` for a packet the policy rejected.
+        Policies that attribute their drops return one of
+        :data:`repro.telemetry.DROP_CAUSES`; the base class returns
+        ``None``, which the engine records as the terminal ``overflow``
+        stage.
+        """
+        return None
+
     def batch_admit(
         self, arrivals: List[Packet], tick: int
     ) -> Optional[List[Packet]]:
@@ -114,6 +126,9 @@ class RandomDropPolicy(LinkPolicy):
         super().attach(link, engine)
         if self._rng is None:
             self._rng = engine.spawn_rng("random-drop")
+
+    def pending_drop_cause(self) -> Optional[str]:
+        return "random"
 
     def batch_admit(self, arrivals: List[Packet], tick: int) -> List[Packet]:
         link = self.link

@@ -11,6 +11,11 @@ entries, all pickled Python objects:
   periodically so a kill mid-unit loses at most one checkpoint interval.
 * ``salvage`` — partial results rescued from a failed or interrupted
   job, clearly segregated from trustworthy ``unit`` entries.
+* ``telemetry`` — the run's telemetry object (metrics registry and, when
+  tracing, the event log), saved alongside each unit so a resumed run
+  continues its exported series instead of restarting them.  The tick
+  profiler deliberately pickles to an empty state: wall-clock data never
+  survives a checkpoint.
 
 Crash safety is torn-write-proof by construction: every file is written
 to a temporary name in the same directory, fsynced, then atomically
@@ -40,7 +45,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import CheckpointError
 
-KINDS = ("unit", "state", "salvage")
+KINDS = ("unit", "state", "salvage", "telemetry")
 
 _MANIFEST = "MANIFEST.json"
 

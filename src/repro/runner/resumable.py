@@ -16,8 +16,34 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import Interrupted
+from ..telemetry import current
 from .checkpoint import CheckpointStore
 from .supervisor import GracefulShutdown, Watchdog
+
+
+def _readopt_telemetry(run: Any) -> None:
+    """Re-join a restored run's pickled telemetry with the session's.
+
+    A ``state`` snapshot pickles the simulator together with the
+    telemetry it was recording into.  When the resuming session has an
+    active telemetry (``current().enabled``), adopt the restored
+    registry/trace — so series and counters recorded before the kill
+    continue seamlessly — and point the simulator back at the session
+    object so both observe one stream.  With session telemetry off, the
+    restored run keeps its pickled recorder untouched.
+    """
+    session = current()
+    if not session.enabled:
+        return
+    for attr in ("engine", "sim"):
+        target = getattr(run, attr, None)
+        if target is None:
+            continue
+        restored = getattr(target, "telemetry", None)
+        if restored is not None and restored.enabled:
+            session.adopt_state(restored)
+        if restored is not None:
+            target.telemetry = session
 
 
 class EngineRun:
@@ -112,6 +138,7 @@ def run_checkpointed(
     run = None
     if store is not None and store.has("state", name):
         run = store.load("state", name)
+        _readopt_telemetry(run)
     if run is None:
         run = build()
     while not run.done:

@@ -32,6 +32,7 @@ from ..errors import (
     Interrupted,
     InvariantViolation,
 )
+from ..telemetry import current
 from .checkpoint import CheckpointStore
 
 #: Errors retrying cannot fix: same inputs -> same failure.
@@ -272,6 +273,16 @@ class SupervisedRunner:
         """
         if self.store is not None and job_fingerprint is not None:
             self.store.check_job(job_fingerprint)
+        # resume the telemetry stream: a killed job's registry (series,
+        # counters) continues instead of restarting, so exported series
+        # from a resumed job match an uninterrupted run
+        telemetry = current()
+        if (
+            self.store is not None
+            and telemetry.enabled
+            and self.store.has("telemetry", "registry")
+        ):
+            telemetry.adopt_state(self.store.load("telemetry", "registry"))
         watchdog = (
             Watchdog(self.deadline_seconds, clock=self._clock)
             if self.deadline_seconds is not None
@@ -354,6 +365,12 @@ class SupervisedRunner:
             break
         if self.store is not None:
             self.store.save("unit", name, result)
+            telemetry = current()
+            if telemetry.enabled:
+                # snapshot after every completed unit: at most one unit's
+                # worth of telemetry is lost to a crash (the profiler's
+                # wall-clock state intentionally pickles away to empty)
+                self.store.save("telemetry", "registry", telemetry)
         report.results[name] = result
         report.outcomes.append(
             UnitOutcome(

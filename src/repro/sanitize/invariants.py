@@ -138,6 +138,8 @@ class EngineSanitizer(_BaseSanitizer):
     checkpointed engine.
     """
 
+    telemetry_label = "sanitizer"
+
     def __init__(self, mode: str = "strict", check_interval: int = 1) -> None:
         super().__init__(mode, check_interval)
         self._baselines: dict = {}  # (src, dst) -> (serviced_total, tick)
@@ -293,6 +295,8 @@ class FluidSanitizer(_BaseSanitizer):
     admitted on the *previous* tick — so a corrupted allocation is caught
     at the start of the next tick.
     """
+
+    telemetry_label = "sanitizer"
 
     def install(self, sim) -> "FluidSanitizer":
         sim.add_tick_hook(self)

@@ -1,0 +1,140 @@
+"""Structured decision-trace events, keyed by simulation tick.
+
+Every event records *why* the simulation took a branch — a drop's cause,
+an MTD reclassification, an aggregation promote/demote — never *when* in
+wall-clock terms.  Tick-keyed events are byte-reproducible: the same
+(scenario, seed) pair yields the same JSONL trace, which is what lets
+``repro chaos --replay`` verify traces alongside digests.
+
+The drop-cause taxonomy mirrors the admission pipeline the packet engine
+actually implements for FLoc (paper §V drop policy): capability checks
+first (``spoofed``/``blocked``), then preferential drop of identified
+attack flows, then the congestion-mode random/token-bucket stages, with
+``overflow`` (queue tail drop) as the final resort and ``dead_link`` for
+packets in flight on a failed link.  :func:`precedence` exposes the
+pipeline order so tests can assert, e.g., that token-bucket denial
+outranks queue overflow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DROP_CAUSES",
+    "TraceEvent",
+    "TraceLog",
+    "precedence",
+]
+
+#: Drop causes in pipeline order (earliest stage first).  A packet is
+#: dropped by exactly one stage, so every engine drop carries exactly one
+#: of these labels.
+DROP_CAUSES: Tuple[str, ...] = (
+    "spoofed",
+    "blocked",
+    "preferential",
+    "token",
+    "random",
+    "overflow",
+    "dead_link",
+)
+
+_PRECEDENCE: Dict[str, int] = {cause: i for i, cause in enumerate(DROP_CAUSES)}
+
+
+def precedence(cause: str) -> int:
+    """Pipeline rank of a drop cause (lower = evaluated earlier)."""
+    try:
+        return _PRECEDENCE[cause]
+    except KeyError:
+        raise ConfigError(
+            f"unknown drop cause {cause!r}; known causes: {DROP_CAUSES}"
+        ) from None
+
+
+class TraceEvent:
+    """One traced decision: ``(tick, kind, subsystem, data)``."""
+
+    __slots__ = ("tick", "kind", "subsystem", "data")
+
+    def __init__(
+        self, tick: int, kind: str, subsystem: str, data: Dict[str, Any]
+    ) -> None:
+        self.tick = tick
+        self.kind = kind
+        self.subsystem = subsystem
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "tick": self.tick,
+            "kind": self.kind,
+            "subsystem": self.subsystem,
+        }
+        for key, value in self.data.items():
+            out[key] = _jsonable(value)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(tick={self.tick}, kind={self.kind!r}, "
+            f"subsystem={self.subsystem!r}, data={self.data!r})"
+        )
+
+    def __getstate__(self) -> Tuple[int, str, str, Dict[str, Any]]:
+        return (self.tick, self.kind, self.subsystem, self.data)
+
+    def __setstate__(self, state: Tuple[int, str, str, Dict[str, Any]]) -> None:
+        self.tick, self.kind, self.subsystem, self.data = state
+
+
+def _jsonable(value: Any) -> Any:
+    """Fold tuples (path ids, account keys) into JSON-friendly forms."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(v) for v in value), key=repr)
+    return value
+
+
+class TraceLog:
+    """Bounded, order-preserving event store.
+
+    A deque with ``maxlen`` keeps memory constant on long runs; per-kind
+    counts survive eviction so totals remain exact even after old events
+    have been dropped from the window.
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events <= 0:
+            raise ConfigError(f"max_events must be > 0, got {max_events}")
+        self.max_events = max_events
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self.emitted_total: int = 0
+        self.counts_by_kind: Dict[str, int] = {}
+
+    def emit(self, tick: int, kind: str, subsystem: str, **data: Any) -> TraceEvent:
+        event = TraceEvent(tick, kind, subsystem, data)
+        self._events.append(event)
+        self.emitted_total += 1
+        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    @property
+    def evicted_total(self) -> int:
+        return self.emitted_total - len(self._events)

@@ -1,0 +1,86 @@
+"""Wall-time attribution per simulation subsystem.
+
+This is the one module in the package that touches a wall clock
+(``time.perf_counter``), and the one FLC001 allowlist exemption for it
+lives in :mod:`repro.check.rules.determinism`.  The containment is
+deliberate: profiler output is *diagnostic only* — it never feeds run
+digests, checkpoints, or any simulated quantity.  :meth:`__getstate__`
+drops all timings so a pickled engine (and therefore a chaos digest or a
+checkpoint file) can never differ because of how fast the host ran.
+
+Usage inside a tick loop::
+
+    t0 = profiler.start()
+    ...arrivals phase...
+    t0 = profiler.lap("arrivals", t0)
+    ...policy phase...
+    t0 = profiler.lap("policy", t0)
+    profiler.tick_done()
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+__all__ = ["TickProfiler"]
+
+
+class TickProfiler:
+    """Accumulates wall seconds per named subsystem across ticks."""
+
+    def __init__(self) -> None:
+        self.totals_seconds: Dict[str, float] = {}
+        self.ticks_profiled: int = 0
+
+    def start(self) -> float:
+        """Timestamp the start of a profiled region."""
+        return time.perf_counter()
+
+    def lap(self, subsystem: str, since: float) -> float:
+        """Charge the time since ``since`` to ``subsystem``; returns *now*.
+
+        Returning the new timestamp lets call sites chain laps without a
+        second clock read per boundary.
+        """
+        now = time.perf_counter()
+        self.totals_seconds[subsystem] = (
+            self.totals_seconds.get(subsystem, 0.0) + (now - since)
+        )
+        return now
+
+    def tick_done(self) -> None:
+        self.ticks_profiled += 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.totals_seconds.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of profiled wall time per subsystem (sums to ~1)."""
+        total = self.total_seconds
+        if total <= 0.0:
+            return {name: 0.0 for name in sorted(self.totals_seconds)}
+        return {
+            name: self.totals_seconds[name] / total
+            for name in sorted(self.totals_seconds)
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "ticks_profiled": self.ticks_profiled,
+            "totals_seconds": {
+                name: self.totals_seconds[name]
+                for name in sorted(self.totals_seconds)
+            },
+            "breakdown": self.breakdown(),
+        }
+
+    # Wall-clock data must never reach a checkpoint or digest: pickling a
+    # profiler yields an empty one.
+    def __getstate__(self) -> Tuple[()]:
+        return ()
+
+    def __setstate__(self, state: Tuple[()]) -> None:
+        self.totals_seconds = {}
+        self.ticks_profiled = 0

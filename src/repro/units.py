@@ -91,3 +91,36 @@ DEFAULT_SCALE = UnitScale()
 
 #: Scale matching the paper's Internet-scale simulator (5 ms ticks).
 INTERNET_SCALE = UnitScale(tick_seconds=0.005)
+
+
+#: Identifier suffix -> dimension class, longest suffix wins.  This is the
+#: single source of truth for the repo's units-in-the-name convention: the
+#: FLC004 static rule (:mod:`repro.check.rules.units`) checks arithmetic
+#: against it, and the telemetry registry (:mod:`repro.telemetry`)
+#: validates metric names against it at runtime.
+SUFFIX_DIMENSIONS = (
+    ("pkts_per_tick", "rate[pkt/tick]"),
+    ("per_tick", "rate[pkt/tick]"),
+    ("pkts_per_second", "rate[pkt/s]"),
+    ("mbps", "rate[Mbit/s]"),
+    ("bps", "rate[bit/s]"),
+    ("megabytes", "volume[MB]"),
+    ("bytes", "volume[B]"),
+    ("bits", "volume[bit]"),
+    ("packets", "volume[pkt]"),
+    ("pkts", "volume[pkt]"),
+    ("seconds", "time[s]"),
+    ("secs", "time[s]"),
+    ("ticks", "time[tick]"),
+)
+
+
+def dimension_of(name: "str | None") -> "str | None":
+    """Dimension class of an identifier, from its unit suffix."""
+    if name is None:
+        return None
+    lowered = name.lower()
+    for suffix, dim in SUFFIX_DIMENSIONS:
+        if lowered == suffix or lowered.endswith("_" + suffix):
+            return dim
+    return None

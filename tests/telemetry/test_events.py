@@ -1,0 +1,96 @@
+"""Decision-trace events, the drop-cause taxonomy, and the profiler."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import DROP_CAUSES, TickProfiler, TraceLog, precedence
+
+
+class TestDropCauses:
+    def test_pipeline_order(self):
+        # §V admission pipeline: capability checks, then preferential
+        # drop of identified attack flows, then the congestion-mode
+        # stages, with queue overflow as the terminal resort
+        assert DROP_CAUSES == (
+            "spoofed",
+            "blocked",
+            "preferential",
+            "token",
+            "random",
+            "overflow",
+            "dead_link",
+        )
+        ranks = [precedence(cause) for cause in DROP_CAUSES]
+        assert ranks == sorted(ranks)
+
+    def test_precedence_relations(self):
+        assert precedence("spoofed") < precedence("preferential")
+        assert precedence("preferential") < precedence("token")
+        assert precedence("token") < precedence("overflow")
+
+    def test_unknown_cause_raises(self):
+        with pytest.raises(ConfigError):
+            precedence("cosmic_ray")
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit(3, "drop", "policy", cause="token")
+        log.emit(3, "mtd_block", "policy", unit="(1, 2)")
+        log.emit(4, "drop", "policy", cause="overflow")
+        assert log.emitted_total == 3
+        assert log.counts_by_kind == {"drop": 2, "mtd_block": 1}
+        assert [e.tick for e in log.events("drop")] == [3, 4]
+
+    def test_bounded_with_exact_totals(self):
+        log = TraceLog(max_events=4)
+        for tick in range(10):
+            log.emit(tick, "drop", "policy", cause="token")
+        assert len(log) == 4
+        assert log.emitted_total == 10
+        assert log.evicted_total == 6
+        assert [e.tick for e in log.events()] == [6, 7, 8, 9]
+
+    def test_to_dict_folds_tuples_and_sets(self):
+        log = TraceLog()
+        event = log.emit(
+            2, "mtd_identify", "policy", path_id=(4, 2, 1), flows={3, 1}
+        )
+        d = event.to_dict()
+        assert d["tick"] == 2
+        assert d["path_id"] == [4, 2, 1]
+        assert d["flows"] == [1, 3]
+
+    def test_events_pickle(self):
+        log = TraceLog()
+        log.emit(1, "drop", "policy", cause="token")
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.emitted_total == 1
+        assert clone.events()[0].data == {"cause": "token"}
+
+
+class TestTickProfiler:
+    def test_lap_accumulates_and_chains(self):
+        prof = TickProfiler()
+        t0 = prof.start()
+        t1 = prof.lap("policy", t0)
+        prof.lap("queueing", t1)
+        prof.tick_done()
+        assert set(prof.totals_seconds) == {"policy", "queueing"}
+        assert all(v >= 0.0 for v in prof.totals_seconds.values())
+        assert prof.ticks_profiled == 1
+        fractions = prof.breakdown()
+        assert fractions and abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_pickle_erases_wall_clock_state(self):
+        # checkpoints and digests must never observe host speed
+        prof = TickProfiler()
+        t0 = prof.start()
+        prof.lap("policy", t0)
+        prof.tick_done()
+        clone = pickle.loads(pickle.dumps(prof))
+        assert clone.totals_seconds == {}
+        assert clone.ticks_profiled == 0

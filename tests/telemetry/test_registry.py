@@ -1,0 +1,148 @@
+"""Metric primitives and the registry's naming/kind discipline."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import (
+    BinnedCounter,
+    LabeledCounter,
+    MetricsRegistry,
+    TickSeries,
+    validate_metric_name,
+)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "drops_by_cause_packets",
+            "engine_run_ticks",
+            "fluid_admitted_pkts_per_tick",
+            "token_grants_count",
+            "legit_share",
+            "trace_evictions_events",
+            "conformance_ratio",
+        ],
+    )
+    def test_accepts_dimensional_and_dimensionless_suffixes(self, name):
+        assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["drops", "queue_depth", "speed_warp", "", "bad name_count"]
+    )
+    def test_rejects_unsuffixed_or_malformed_names(self, name):
+        with pytest.raises(ConfigError):
+            validate_metric_name(name)
+
+    def test_registry_validates_on_create(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.counter("no_suffix_here")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("events_count")
+        with pytest.raises(ConfigError):
+            reg.gauge("events_count")
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_count") is reg.counter("x_count")
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_count")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_labeled_counter_is_a_dict(self):
+        lc = LabeledCounter()
+        lc.inc("a")
+        lc.inc("a", 2)
+        lc.inc("b")
+        assert lc == {"a": 3, "b": 1}
+        assert pickle.loads(pickle.dumps(lc)) == {"a": 3, "b": 1}
+
+    def test_binned_counter_shape(self):
+        bc = BinnedCounter()
+        bc.observe("legit", 0)
+        bc.observe("legit", 0)
+        bc.observe("attack", 3)
+        assert bc == {"legit": {0: 2}, "attack": {3: 1}}
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("depth_packets", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        # side="left": a value equal to a bound lands in that bound's slot
+        assert list(h.counts) == [2, 1, 1, 1]
+        assert h.total == 5
+        with pytest.raises(ConfigError):
+            reg.histogram("bad_packets", bounds=(3.0, 2.0))
+
+    def test_ring_series_overwrites_oldest(self):
+        reg = MetricsRegistry()
+        s = reg.series("x_packets", capacity=3)
+        for t in range(5):
+            s.sample(t, float(t * 10))
+        assert s.points() == [(2, 20.0), (3, 30.0), (4, 40.0)]
+        assert s.last == (4, 40.0)
+        assert len(s) == 3
+
+
+class TestTickSeries:
+    def test_pending_point_flush_semantics(self):
+        ts = TickSeries()
+        ts.observe(5)
+        ts.observe(5)
+        assert list(ts) == []  # current tick stays pending
+        ts.observe(7)  # next tick finalises the previous point
+        assert list(ts) == [(5, 2)]
+        ts.flush()
+        assert list(ts) == [(5, 2), (7, 1)]
+        ts.flush()  # idempotent
+        assert list(ts) == [(5, 2), (7, 1)]
+
+    def test_equality_with_plain_list(self):
+        ts = TickSeries([(1, 2), (3, 4)])
+        assert ts == [(1, 2), (3, 4)]
+
+    def test_pickle_preserves_pending_point(self):
+        ts = TickSeries()
+        ts.observe(2)
+        ts.observe(4, 3)
+        clone = pickle.loads(pickle.dumps(ts))
+        assert list(clone) == [(2, 1)]
+        assert clone.pending_tick == 4
+        assert clone.pending_value == 3
+        clone.flush()
+        assert list(clone) == [(2, 1), (4, 3)]
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("a_count").inc(2)
+        reg.gauge("b_ticks").set(7.0)
+        reg.labeled("c_packets").inc("x", 5)
+        snap = reg.snapshot()
+        assert snap["a_count"] == {"kind": "counter", "value": 2.0}
+        assert snap["b_ticks"] == {"kind": "gauge", "value": 7.0}
+        assert snap["c_packets"] == {"kind": "labeled", "value": {"x": 5.0}}
+
+    def test_registry_pickles_whole(self):
+        reg = MetricsRegistry()
+        reg.counter("a_count").inc()
+        reg.series("b_packets").sample(3, 1.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counter("a_count").value == 1
+        assert clone.series("b_packets").points() == [(3, 1.5)]

@@ -1,0 +1,101 @@
+"""Telemetry survives kill/resume: resumed series match uninterrupted ones.
+
+The registry travels two ways: pickled inside the simulator snapshot
+(``state`` checkpoints) and as the supervisor's own ``telemetry`` entry.
+Either way, a resumed run must keep extending the same counters and
+series so the final export equals an uninterrupted run's.
+"""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.errors import Interrupted
+from repro.runner import CheckpointStore, EngineRun, run_checkpointed
+from repro.telemetry import Telemetry, use
+from repro.traffic.scenarios import build_tree_scenario
+
+
+class FlipAfter:
+    """Stand-in shutdown flag that trips after N polls (no real signals)."""
+
+    def __init__(self, polls: int) -> None:
+        self.polls = polls
+        self.seen = 0
+        self.signum = 15
+
+    @property
+    def requested(self) -> bool:
+        self.seen += 1
+        return self.seen > self.polls
+
+    def raise_if_requested(self, context: str = "") -> None:
+        raise Interrupted(f"simulated SIGTERM during {context}")
+
+
+def build_run():
+    scenario = build_tree_scenario(
+        scale_factor=0.05, attack_kind="cbr", attack_rate_mbps=2.0, seed=3
+    )
+    scenario.attach_policy(FLocPolicy(FLocConfig(s_max=25)))
+    total = scenario.units.seconds_to_ticks(3.0)
+    return EngineRun(payload=None, engine=scenario.engine, total_ticks=total)
+
+
+def finalize(run):
+    return (run.engine.tick, run.engine.packets_delivered)
+
+
+def _telemetry_export(tel):
+    return (
+        sorted(tel.drop_provenance().items()),
+        tel.registry.series("engine_delivered_packets").points(),
+        tel.registry.gauge("engine_delivered_total_packets").value,
+    )
+
+
+def test_resumed_series_match_uninterrupted(tmp_path):
+    # uninterrupted reference
+    ref_tel = Telemetry(mode="metrics")
+    with use(ref_tel):
+        reference = run_checkpointed(
+            None, "ref", build_run, finalize, checkpoint_interval=1_000_000
+        )
+
+    # killed mid-run, then resumed with a *fresh* session telemetry: the
+    # restored snapshot's registry must be adopted, not restarted
+    store = CheckpointStore(str(tmp_path / "ckpt"))
+    first_tel = Telemetry(mode="metrics")
+    with use(first_tel):
+        with pytest.raises(Interrupted):
+            run_checkpointed(
+                store, "unit", build_run, finalize,
+                checkpoint_interval=50, shutdown=FlipAfter(2),
+            )
+    assert store.has("state", "unit")
+
+    resumed_tel = Telemetry(mode="metrics")
+    with use(resumed_tel):
+        resumed = run_checkpointed(
+            store, "unit", build_run, finalize, checkpoint_interval=50
+        )
+
+    assert resumed == reference
+    assert _telemetry_export(resumed_tel) == _telemetry_export(ref_tel)
+
+
+def test_resume_with_telemetry_off_stays_off(tmp_path):
+    # a run recorded without telemetry resumes cleanly without one
+    store = CheckpointStore(str(tmp_path / "ckpt"))
+    with pytest.raises(Interrupted):
+        run_checkpointed(
+            store, "unit", build_run, finalize,
+            checkpoint_interval=50, shutdown=FlipAfter(2),
+        )
+    resumed = run_checkpointed(
+        store, "unit", build_run, finalize, checkpoint_interval=50
+    )
+    reference = run_checkpointed(
+        None, "ref", build_run, finalize, checkpoint_interval=1_000_000
+    )
+    assert resumed == reference

@@ -73,6 +73,59 @@ class TestChaosCommand:
         assert "reproduced" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_run_and_chaos_accept_telemetry(self):
+        args = build_parser().parse_args(
+            ["run", "fig03", "--telemetry", "trace",
+             "--telemetry-dir", "tel"]
+        )
+        assert args.telemetry == "trace"
+        assert args.telemetry_dir == "tel"
+        args = build_parser().parse_args(["chaos", "--telemetry", "jsonl"])
+        assert args.telemetry == "jsonl"
+        assert args.telemetry_dir == "telemetry"
+
+    def test_metrics_subcommand_parsed(self):
+        args = build_parser().parse_args(["metrics", "tel", "--profile"])
+        assert args.command == "metrics"
+        assert args.path == "tel"
+        assert args.profile
+
+    def test_chaos_exports_and_metrics_renders(self, tmp_path, capsys):
+        tel_dir = tmp_path / "tel"
+        rc = main(
+            ["chaos", "--seed", "2024", "--campaigns", "1", "--simulator",
+             "packet", "--no-shrink", "--csv", str(tmp_path / "csv"),
+             "--telemetry", "trace", "--telemetry-dir", str(tel_dir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry metrics:" in out
+        assert (tel_dir / "metrics.json").exists()
+        assert (tel_dir / "events.jsonl").exists()
+
+        assert main(["metrics", str(tel_dir), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry export" in out
+        assert "drops_by_cause_packets" in out
+
+    def test_telemetry_does_not_change_results(self, tmp_path, capsys):
+        base_csv = tmp_path / "base"
+        traced_csv = tmp_path / "traced"
+        common = ["chaos", "--seed", "11", "--campaigns", "1",
+                  "--simulator", "packet", "--no-shrink"]
+        assert main(common + ["--csv", str(base_csv)]) == 0
+        assert main(
+            common
+            + ["--csv", str(traced_csv), "--telemetry", "trace",
+               "--telemetry-dir", str(tmp_path / "tel")]
+        ) == 0
+        capsys.readouterr()
+        base = (base_csv / "chaos.csv").read_text()
+        traced = (traced_csv / "chaos.csv").read_text()
+        assert base == traced
+
+
 class TestExecution:
     def test_run_fig03(self, capsys):
         assert main(["run", "fig03"]) == 0
