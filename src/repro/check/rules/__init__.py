@@ -122,5 +122,6 @@ def _load_builtin_rules() -> None:
         float_equality,
         mutable_defaults,
         pickle_safety,
+        spawn_safety,
         units,
     )

@@ -4,9 +4,12 @@ Commands
 --------
 ``list``
     Show the reproducible figures and their one-line descriptions.
-``run FIG [options]``
-    Run one figure's experiment under the supervised runner and print
-    its rows (e.g. ``run fig08``).
+``run FIG [FIG ...] [options]``
+    Run one or more figures' experiments under the supervised runner and
+    print their rows (e.g. ``run fig08``, ``run fig06 fig07 fig08``).
+    With ``--workers N`` the unit jobs execute on the crash-isolated
+    multiprocess fabric (:mod:`repro.fleet`) instead of in-process;
+    results and telemetry are byte-identical either way.
 ``quickstart``
     The README quickstart: FLoc on a flooded link, bandwidth breakdown.
 ``chaos [options]``
@@ -39,7 +42,11 @@ Exit codes: 0 all units completed; 1 every unit failed; 2 bad
 configuration or unusable checkpoint directory; 3 partial (some units
 failed — completed rows are still printed and salvaged); 4 watchdog
 deadline exceeded; 5 interrupted by SIGTERM/SIGINT (progress
-checkpointed; re-run with ``--resume``).
+checkpointed; re-run with ``--resume``); 6 a poison job was quarantined
+by the fleet (its reproducer artifact path is in the status table).
+With several jobs (``run`` with multiple figures), the exit code is the
+*worst* job's, and a per-job status table is printed whenever any job
+ended non-ok.
 """
 
 from __future__ import annotations
@@ -47,7 +54,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis.export import write_csv
 from .analysis.report import format_table
@@ -70,14 +77,24 @@ FIGURES = {
     "faults": "graceful degradation under router restart + link faults",
 }
 
-#: JobReport.status -> process exit code (see module docstring).
+#: Job/fleet status -> process exit code (see module docstring).
 EXIT_CODES = {
     "ok": 0,
     "failed": 1,
     "partial": 3,
     "deadline": 4,
     "interrupted": 5,
+    "quarantined": 6,
 }
+
+#: Statuses from best to worst; multi-job runs exit with the worst one.
+_STATUS_ORDER = (
+    "ok", "partial", "failed", "quarantined", "deadline", "interrupted",
+)
+
+
+def _worst_status(statuses) -> str:
+    return max(statuses, key=_STATUS_ORDER.index, default="ok")
 
 
 def _settings(args) -> FunctionalSettings:
@@ -133,18 +150,39 @@ def _emit(args, name: str, headers, rows, title: str) -> None:
         sys.stdout.write(f"wrote {path}\n")
 
 
-def _run_figure(args) -> int:
+def _fig_status(freport, names: List[str]) -> str:
+    """Derive one figure's job status from its units' fleet outcomes."""
+    by_name = {o.name: o for o in freport.outcomes}
+    outs = [by_name[n] for n in names if n in by_name]
+    missing = len(names) - len(outs)
+    if any(o.status == "quarantined" for o in outs):
+        return "quarantined"
+    done = sum(1 for o in outs if o.status in ("done", "resumed"))
+    failed = sum(1 for o in outs if o.status == "failed")
+    if missing and freport.status in ("deadline", "interrupted"):
+        return freport.status
+    if not failed and not missing:
+        return "ok"
+    return "partial" if done else "failed"
+
+
+def _run_figures(args) -> int:
     from .runner import (
         CheckpointStore,
         RetryPolicy,
         SupervisedRunner,
         build_figure_job,
     )
+    from .telemetry import use
 
+    figures = list(dict.fromkeys(args.figures))
     settings = _settings(args)
-    job = build_figure_job(
-        args.figure, settings, variants=tuple(args.variants)
-    )
+    variants = tuple(args.variants)
+    jobs = {
+        fig: build_figure_job(fig, settings, variants=variants)
+        for fig in figures
+    }
+
     store = None
     root = args.resume or args.checkpoint_dir
     if root:
@@ -153,34 +191,111 @@ def _run_figure(args) -> int:
             # --checkpoint-dir without --resume restarts the job; stale
             # entries must not be mistaken for this run's results
             store.reset()
-    runner = SupervisedRunner(
-        store=store,
-        deadline_seconds=args.deadline,
-        retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
-        sanitize=settings.sanitize,
-        log=_runner_log,
-    )
-    from .telemetry import use
+    elif args.workers is not None:
+        # the fleet needs a shared store for results and mid-task salvage
+        # even when the user did not ask for checkpoints
+        import tempfile
+
+        store = CheckpointStore(tempfile.mkdtemp(prefix="repro-fleet-"))
+
+    if len(figures) == 1:
+        fingerprint = jobs[figures[0]].fingerprint
+    else:
+        # one combined fingerprint: per-figure ones would conflict in the
+        # shared store's manifest
+        fingerprint = {"kind": "multi-figure", "figures": list(figures)}
+        fingerprint.update(
+            {
+                k: v
+                for k, v in jobs[figures[0]].fingerprint.items()
+                if k not in ("kind", "figure")
+            }
+        )
+    if store is not None:
+        store.check_job(fingerprint)
 
     tel = _telemetry_from_args(args)
-    with use(tel):
-        report = runner.run_units(job.units, job.fingerprint)
+    statuses: Dict[str, str] = {}
+    results: Dict[str, Any] = {}
+    unit_rows: List[Tuple[str, str, int, str]] = []
+
+    if args.workers is not None:
+        from .fleet import FleetOptions, figure_tasks, run_fleet
+
+        tasks = [
+            task
+            for fig in figures
+            for task in figure_tasks(fig, settings, variants=variants)
+        ]
+        mode = getattr(args, "telemetry", "off")
+        freport = run_fleet(
+            tasks,
+            store,
+            FleetOptions(
+                workers=args.workers,
+                telemetry_mode="trace" if mode == "jsonl" else mode,
+                sanitize=settings.sanitize,
+                retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
+                deadline_seconds=args.deadline,
+            ),
+            log=_runner_log,
+        )
+        tel = freport.telemetry
+        results = dict(freport.results)
+        unit_rows = freport.summary_rows()
+        for fig in figures:
+            statuses[fig] = _fig_status(
+                freport, [name for name, _ in jobs[fig].units]
+            )
+    else:
+        with use(tel):
+            for fig in figures:
+                runner = SupervisedRunner(
+                    store=store,
+                    deadline_seconds=args.deadline,
+                    retry=RetryPolicy(
+                        max_retries=args.retries, seed=args.seed
+                    ),
+                    sanitize=settings.sanitize,
+                    log=_runner_log,
+                )
+                report = runner.run_units(jobs[fig].units)
+                statuses[fig] = report.status
+                results.update(report.results)
+                unit_rows.extend(report.summary_rows())
+                if report.status in ("deadline", "interrupted"):
+                    break  # the whole run is cut off, not just this job
+
     _export_telemetry(args, tel)
-    output = job.finalize(report.results)
-    _emit(args, args.figure, output.headers, output.rows, FIGURES[args.figure])
-    for note in output.notes:
-        sys.stdout.write(f"{note}\n")
-    if not report.ok:
-        sys.stderr.write(f"job {report.status}:\n")
-        for name, status, attempts, error in report.summary_rows():
+    for fig in figures:
+        if fig not in statuses:
+            continue  # never started (an earlier job hit the deadline)
+        output = jobs[fig].finalize(results)
+        _emit(args, fig, output.headers, output.rows, FIGURES[fig])
+        for note in output.notes:
+            sys.stdout.write(f"{note}\n")
+
+    worst = _worst_status(statuses.values())
+    if len(figures) > 1 or worst != "ok":
+        sys.stdout.write(
+            format_table(
+                ["job", "status"],
+                [[fig, statuses.get(fig, "not started")] for fig in figures],
+                title="job statuses",
+            )
+        )
+        sys.stdout.write("\n")
+    if worst != "ok":
+        sys.stderr.write(f"job {worst}:\n")
+        for name, status, attempts, error in unit_rows:
             suffix = f" ({error})" if error else ""
             sys.stderr.write(f"  {name}: {status}{suffix}\n")
-        if store is not None and report.results:
-            path = store.save("salvage", "partial-results", dict(report.results))
+        if store is not None and results:
+            path = store.save("salvage", "partial-results", dict(results))
             sys.stderr.write(
-                f"salvaged {len(report.results)} unit result(s) to {path}\n"
+                f"salvaged {len(results)} unit result(s) to {path}\n"
             )
-    return EXIT_CODES[report.status]
+    return EXIT_CODES[worst]
 
 
 def _quickstart(args) -> int:
@@ -267,16 +382,88 @@ def _chaos(args) -> int:
         artifact_dir=args.artifact_dir,
     )
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+    from .errors import ConfigError
     from .telemetry import use
 
+    if args.process_faults and args.workers is None:
+        raise ConfigError("--process-faults requires --workers")
+
     tel = _telemetry_from_args(args)
-    with use(tel):
-        report = run_chaos(
-            options,
-            store=store,
-            deadline_seconds=args.deadline,
+    if args.workers is not None:
+        import tempfile
+
+        from .chaos.spec import CampaignSpec
+        from .fleet import (
+            FleetOptions,
+            chaos_tasks,
+            run_fleet,
+            sample_process_faults,
+        )
+        from .runner import RetryPolicy
+        from .runner.supervisor import JobReport, UnitOutcome
+
+        tasks = chaos_tasks(options)
+        plan = None
+        if args.process_faults:
+            plan = sample_process_faults(
+                args.seed, [t.name for t in tasks], args.process_faults
+            )
+        if store is None:
+            store = CheckpointStore(tempfile.mkdtemp(prefix="repro-fleet-"))
+        store.check_job(
+            {
+                "kind": "chaos-sweep",
+                "seed": args.seed,
+                "campaigns": args.campaigns,
+                "simulator": args.simulator,
+                "include_silent": args.include_silent,
+            }
+        )
+        mode = getattr(args, "telemetry", "off")
+        freport = run_fleet(
+            tasks,
+            store,
+            FleetOptions(
+                workers=args.workers,
+                telemetry_mode="trace" if mode == "jsonl" else mode,
+                retry=RetryPolicy(seed=args.seed),
+                deadline_seconds=args.deadline,
+                fault_plan=plan,
+                # convict deliberately stalled workers quickly; the
+                # heartbeat pulse runs on its own thread, so 5s of
+                # silence from a live worker cannot happen by accident
+                heartbeat_timeout_seconds=5.0 if plan is not None else 30.0,
+            ),
             log=_runner_log,
         )
+        tel = freport.telemetry
+        from .chaos import ChaosReport
+
+        report = ChaosReport(
+            job=JobReport(
+                status=freport.status,
+                outcomes=[
+                    UnitOutcome(
+                        name=o.name,
+                        status=o.status,
+                        attempts=o.attempts,
+                        error=o.error,
+                        seconds=o.seconds,
+                    )
+                    for o in freport.outcomes
+                ],
+                results=dict(freport.results),
+            ),
+            specs=[CampaignSpec.from_dict(t.spec) for t in tasks],
+        )
+    else:
+        with use(tel):
+            report = run_chaos(
+                options,
+                store=store,
+                deadline_seconds=args.deadline,
+                log=_runner_log,
+            )
     _export_telemetry(args, tel)
     rows = []
     for i, campaign in enumerate(report.campaigns):
@@ -310,6 +497,11 @@ def _chaos(args) -> int:
             f"reproducers: {report.artifacts or 'disabled'}\n"
         )
         return EXIT_CODES["partial"]
+    if report.job.status != "ok":
+        sys.stderr.write(f"sweep {report.job.status}:\n")
+        for name, status, attempts, error in report.job.summary_rows():
+            suffix = f" ({error})" if error else ""
+            sys.stderr.write(f"  {name}: {status}{suffix}\n")
     return EXIT_CODES[report.job.status]
 
 
@@ -414,9 +606,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible figures")
 
-    run = sub.add_parser("run", help="run one figure's experiment")
-    run.add_argument("figure", choices=sorted(FIGURES), metavar="FIG")
+    run = sub.add_parser("run", help="run one or more figures' experiments")
+    run.add_argument(
+        "figures", nargs="+", choices=sorted(FIGURES), metavar="FIG",
+        help="figure name(s); several run as one multi-job session",
+    )
     _add_common(run)
+    run.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="run unit jobs on N supervised worker processes (the fleet: "
+             "crash isolation, hang detection, checkpoint salvage); "
+             "results and telemetry match the serial run byte for byte",
+    )
     run.add_argument(
         "--variants", nargs="+", default=["f-root"],
         help="skitter-map variants for internet-scale figures",
@@ -438,7 +639,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--deadline", type=float, metavar="SECONDS", default=None,
-        help="wall-clock watchdog deadline for the whole job",
+        help="wall-clock watchdog deadline (per job serially; for the "
+             "whole fleet with --workers)",
     )
     run.add_argument(
         "--retries", type=int, metavar="N", default=1,
@@ -487,6 +689,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--deadline", type=float, metavar="SECONDS",
                        default=None,
                        help="wall-clock watchdog deadline for the sweep")
+    chaos.add_argument("--workers", type=int, metavar="N", default=None,
+                       help="run campaigns on N supervised worker "
+                            "processes (digests match the serial sweep)")
+    chaos.add_argument("--process-faults", type=int, metavar="N", default=0,
+                       help="inject N process-level faults (worker "
+                            "SIGKILL / heartbeat stall) into the fleet "
+                            "itself; requires --workers")
     chaos.add_argument("--replay", metavar="FILE", default=None,
                        help="re-execute a reproducer artifact and verify it "
                             "still fails identically (other flags ignored)")
@@ -576,7 +785,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     try:
         if args.command == "run":
-            return _run_figure(args)
+            return _run_figures(args)
         if args.command == "chaos":
             return _chaos(args)
         if args.command == "check":

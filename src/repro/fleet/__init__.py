@@ -1,0 +1,63 @@
+"""Crash-isolated multiprocess execution fabric.
+
+``repro.fleet`` runs the repo's two unit-job families — figure sweep
+cells (:mod:`repro.runner.figures`) and chaos campaigns
+(:mod:`repro.chaos.engine`) — on a spawn-based worker pool with real
+fault tolerance:
+
+* hung workers are convicted by a heartbeat liveness watchdog and
+  SIGKILLed (:mod:`repro.fleet.heartbeat`);
+* dead workers are replaced and their tasks salvaged from the shared
+  :class:`~repro.runner.checkpoint.CheckpointStore` — finished results
+  load instead of re-running, interrupted simulations resume tick-level
+  on another worker (:mod:`repro.fleet.pool`);
+* tasks that keep killing workers are quarantined with a reproducer
+  artifact instead of retried forever;
+* per-task telemetry merges deterministically in canonical task order
+  (:mod:`repro.fleet.merge`), so ``--workers N`` output is byte-
+  identical to serial for every N;
+* the chaos fault space extends to the fabric itself — planned
+  worker kills and stalls (:mod:`repro.fleet.faults`) make every
+  ``repro chaos --process-faults`` sweep a supervision integration
+  test.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    ProcessFault,
+    ProcessFaultPlan,
+    sample_process_faults,
+)
+from .heartbeat import Heartbeat, HeartbeatMonitor
+from .jobs import ChaosCampaignTask, FigureUnitTask, chaos_tasks, figure_tasks
+from .merge import merge_registries, merge_telemetry
+from .pool import (
+    FLEET_STATUSES,
+    FleetOptions,
+    FleetReport,
+    TaskOutcome,
+    run_fleet,
+)
+from .worker import WorkerConfig, worker_main
+
+__all__ = [
+    "FAULT_KINDS",
+    "FLEET_STATUSES",
+    "ChaosCampaignTask",
+    "FigureUnitTask",
+    "FleetOptions",
+    "FleetReport",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "ProcessFault",
+    "ProcessFaultPlan",
+    "TaskOutcome",
+    "WorkerConfig",
+    "chaos_tasks",
+    "figure_tasks",
+    "merge_registries",
+    "merge_telemetry",
+    "run_fleet",
+    "sample_process_faults",
+    "worker_main",
+]

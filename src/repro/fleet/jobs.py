@@ -1,0 +1,126 @@
+"""Picklable task descriptors: what crosses the spawn boundary.
+
+A spawn-started worker shares nothing with the supervisor, so tasks must
+pickle — but the unit callables in :mod:`repro.runner.figures` are
+closures over settings and sweep cells, which do not.  The fix is to
+ship the *recipe* instead of the closure: a frozen dataclass carrying
+only primitives (figure name, unit name, settings fields, campaign spec
+dict).  The worker rebuilds the closure table from the recipe — unit
+construction is cheap; the expensive part is running the simulation —
+and selects its unit by name.  Determinism is free: the rebuilt unit is
+the same pure function of the same settings/seed the serial runner would
+have called.
+
+Task ``name``s double as checkpoint keys in the shared
+:class:`~repro.runner.checkpoint.CheckpointStore`, so the serial and
+fleet paths salvage each other's progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..chaos.engine import CampaignJob, ChaosOptions, build_chaos_units
+from ..chaos.spec import CampaignSpec
+from ..errors import ConfigError
+from ..experiments.common import FunctionalSettings
+from ..runner.figures import build_figure_job
+from ..runner.supervisor import UnitContext
+
+__all__ = [
+    "ChaosCampaignTask",
+    "FigureUnitTask",
+    "FleetTask",
+    "chaos_tasks",
+    "figure_tasks",
+]
+
+
+@dataclass(frozen=True)
+class FigureUnitTask:
+    """One cell of a figure sweep, by recipe."""
+
+    figure: str
+    unit: str
+    settings: Dict[str, Any]
+    variants: Tuple[str, ...] = ("f-root",)
+
+    @property
+    def name(self) -> str:
+        return self.unit
+
+    def run(self, ctx: UnitContext) -> Any:
+        job = build_figure_job(
+            self.figure,
+            FunctionalSettings(**self.settings),
+            variants=self.variants,
+        )
+        for name, fn in job.units:
+            if name == self.unit:
+                return fn(ctx)
+        raise ConfigError(
+            f"figure {self.figure!r} has no unit {self.unit!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosCampaignTask:
+    """One chaos campaign, by spec dict."""
+
+    campaign: str
+    spec: Dict[str, Any]
+    shrink: bool = True
+    max_shrink_trials: int = 64
+    artifact_dir: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.campaign
+
+    def run(self, ctx: UnitContext) -> Any:
+        job = CampaignJob(
+            CampaignSpec.from_dict(self.spec),
+            shrink=self.shrink,
+            max_shrink_trials=self.max_shrink_trials,
+            artifact_dir=self.artifact_dir,
+        )
+        return job(ctx)
+
+
+# Either descriptor; both expose `.name` and `.run(ctx)`.
+FleetTask = Any
+
+
+def figure_tasks(
+    figure: str,
+    settings: FunctionalSettings,
+    variants: Tuple[str, ...] = ("f-root",),
+) -> List[FigureUnitTask]:
+    """Tasks for one figure, in the serial runner's canonical order."""
+    job = build_figure_job(figure, settings, variants=variants)
+    recipe = asdict(settings)
+    return [
+        FigureUnitTask(
+            figure=figure,
+            unit=name,
+            settings=recipe,
+            variants=tuple(variants),
+        )
+        for name, _ in job.units
+    ]
+
+
+def chaos_tasks(options: ChaosOptions) -> List[ChaosCampaignTask]:
+    """Tasks for one chaos sweep, in sweep (canonical) order."""
+    options.validate()
+    return [
+        ChaosCampaignTask(
+            campaign=name,
+            spec=unit.spec.to_dict(),
+            shrink=unit.shrink,
+            max_shrink_trials=unit.max_shrink_trials,
+            artifact_dir=unit.artifact_dir,
+        )
+        for name, unit in build_chaos_units(options)
+    ]

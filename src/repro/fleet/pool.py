@@ -1,0 +1,555 @@
+"""The fleet supervisor: spawn pool, liveness watchdog, salvage, merge.
+
+The pool owns a set of spawn-started workers, each with a private task
+queue, all reporting into one result queue.  The supervision loop:
+
+1. drain worker reports (``done``/``fail``);
+2. convict dead or hung workers — a worker is *dead* when its process
+   has an exit code, *hung* when its heartbeat file has not changed for
+   ``heartbeat_timeout_seconds`` or its task has overrun
+   ``task_timeout_seconds`` (hung workers are SIGKILLed, which turns
+   them into dead ones);
+3. for each dead worker: salvage its task (if the shared store already
+   holds the completed unit, the worker died in the report window — the
+   result is loaded, nothing re-runs), otherwise count the death
+   against the task and either re-enqueue it (a replacement worker
+   resumes from the last tick-level checkpoint) or quarantine it once
+   it has killed ``max_worker_deaths`` distinct workers;
+4. replace dead workers with fresh processes (worker ids are never
+   reused, so "distinct workers killed" is well-defined);
+5. assign ready tasks — including ``RetryPolicy``-delayed retries of
+   transient failures — to idle workers.
+
+Determinism: results are keyed by task name and every task is a pure
+function of its recipe, so scheduling cannot change them; telemetry
+pieces are folded in canonical task order by :mod:`repro.fleet.merge`.
+A ``FleetReport`` therefore matches its serial counterpart byte for
+byte, whatever the worker count, scheduling interleaving, or mid-run
+worker deaths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+from queue import Empty
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigError
+from ..runner.checkpoint import CheckpointStore
+from ..runner.supervisor import GracefulShutdown, RetryPolicy, Watchdog
+from ..telemetry import NullTelemetry
+from .faults import ProcessFaultPlan
+from .heartbeat import HeartbeatMonitor
+from .merge import merge_telemetry
+from .worker import WorkerConfig, telemetry_key, worker_main
+
+__all__ = [
+    "FLEET_STATUSES",
+    "FleetOptions",
+    "FleetReport",
+    "TaskOutcome",
+    "run_fleet",
+]
+
+#: Fleet statuses from best to worst; extends the runner's job statuses
+#: with ``quarantined`` (a poison job was isolated).
+FLEET_STATUSES = (
+    "ok", "partial", "failed", "quarantined", "deadline", "interrupted",
+)
+
+
+def _slug(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+
+
+def _null_log(message: str) -> None:
+    """Default no-op log sink (module-level for picklability parity)."""
+
+
+@dataclass
+class FleetOptions:
+    """Supervision knobs for one fleet run."""
+
+    workers: int = 2
+    telemetry_mode: str = "off"
+    sanitize: Optional[str] = None
+    checkpoint_interval: int = 200
+    retry: Optional[RetryPolicy] = None
+    deadline_seconds: Optional[float] = None
+    heartbeat_interval_seconds: float = 0.1
+    heartbeat_timeout_seconds: float = 30.0
+    task_timeout_seconds: Optional[float] = None
+    max_worker_deaths: int = 2
+    poll_interval_seconds: float = 0.05
+    fault_plan: Optional[ProcessFaultPlan] = None
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.max_worker_deaths < 1:
+            raise ConfigError(
+                f"max_worker_deaths must be >= 1, got {self.max_worker_deaths}"
+            )
+        if self.heartbeat_timeout_seconds <= self.heartbeat_interval_seconds:
+            raise ConfigError(
+                "heartbeat_timeout_seconds must exceed the beat interval"
+            )
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task, fleet-wide."""
+
+    name: str
+    status: str  # "done" | "resumed" | "failed" | "quarantined"
+    attempts: int = 0
+    error: Optional[str] = None
+    seconds: float = 0.0
+    worker_deaths: int = 0
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet run; shaped like a ``JobReport`` plus
+    supervision facts."""
+
+    status: str
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    results: Dict[str, Any] = field(default_factory=dict)
+    telemetry: NullTelemetry = field(default_factory=NullTelemetry)
+    quarantined: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers_spawned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def completed(self) -> List[str]:
+        return [o.name for o in self.outcomes if o.status in ("done", "resumed")]
+
+    def failed(self) -> List[str]:
+        return [
+            o.name for o in self.outcomes
+            if o.status in ("failed", "quarantined")
+        ]
+
+    def summary_rows(self) -> List[Tuple[str, str, int, str]]:
+        return [
+            (o.name, o.status, o.attempts, o.error or "")
+            for o in self.outcomes
+        ]
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    def __init__(self, worker_id: int, process: Any, queue: Any) -> None:
+        self.id = worker_id
+        self.process = process
+        self.queue = queue
+        self.assigned: Optional[Tuple[int, Any, int, float]] = None
+        # (seq, task, attempt, assigned_at)
+
+    @property
+    def idle(self) -> bool:
+        return self.assigned is None
+
+
+class _FleetRun:
+    """One run's mutable supervision state (no module globals: spawn
+    workers share nothing, and FLC007 enforces that stays true)."""
+
+    def __init__(
+        self,
+        tasks: Sequence[Any],
+        store: CheckpointStore,
+        options: FleetOptions,
+        log: Callable[[str], None],
+    ) -> None:
+        options.validate()
+        self.tasks = list(tasks)
+        self.order = {task.name: i for i, task in enumerate(self.tasks)}
+        if len(self.order) != len(self.tasks):
+            raise ConfigError("fleet task names must be unique")
+        self.store = store
+        self.options = options
+        self.log = log
+        self.retry = options.retry if options.retry is not None else RetryPolicy()
+        self.fleet_dir = os.path.join(store.root, "fleet")
+        os.makedirs(os.path.join(self.fleet_dir, "hb"), exist_ok=True)
+        self.monitor = HeartbeatMonitor(
+            os.path.join(self.fleet_dir, "hb"),
+            timeout_seconds=options.heartbeat_timeout_seconds,
+        )
+        self.ctx = get_context("spawn")
+        self.result_queue = self.ctx.Queue()
+        self.workers: Dict[int, _Worker] = {}
+        self.next_worker_id = 0
+        self.next_seq = 0
+        self.inflight: Dict[int, Tuple[Any, int]] = {}  # seq -> (task, attempt)
+        self.ready: List[Tuple[float, int, Any, int]] = []  # heap
+        self.outcomes: Dict[str, TaskOutcome] = {}
+        self.results: Dict[str, Any] = {}
+        self.pieces: Dict[str, NullTelemetry] = {}
+        self.deaths: Dict[str, Set[int]] = {}
+        self.started: Dict[str, float] = {}
+        self.workers_spawned = 0
+
+    # -- worker lifecycle ----------------------------------------------
+    def _config(self) -> WorkerConfig:
+        return WorkerConfig(
+            fleet_dir=self.fleet_dir,
+            store_root=self.store.root,
+            telemetry_mode=self.options.telemetry_mode,
+            sanitize=self.options.sanitize,
+            checkpoint_interval=self.options.checkpoint_interval,
+            heartbeat_interval_seconds=self.options.heartbeat_interval_seconds,
+            fault_plan=self.options.fault_plan,
+        )
+
+    def spawn_worker(self) -> _Worker:
+        worker_id = self.next_worker_id
+        self.next_worker_id += 1
+        queue = self.ctx.Queue()
+        process = self.ctx.Process(
+            target=worker_main,
+            args=(worker_id, self._config(), queue, self.result_queue),
+            name=f"fleet-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self.workers_spawned += 1
+        worker = _Worker(worker_id, process, queue)
+        self.workers[worker_id] = worker
+        self.monitor.observe(worker_id)
+        return worker
+
+    def start_workers(self) -> None:
+        for _ in range(min(self.options.workers, len(self.tasks)) or 1):
+            self.spawn_worker()
+
+    def stop_workers(self, force: bool = False) -> None:
+        for worker in self.workers.values():
+            if force:
+                # mid-task workers won't drain their queue; SIGTERM them
+                # (tick-level state snapshots make this resumable)
+                worker.process.terminate()
+            else:
+                try:
+                    worker.queue.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        for worker in self.workers.values():
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            self.monitor.forget(worker.id)
+
+    # -- task flow ------------------------------------------------------
+    def enqueue(self, task: Any, attempt: int, at: float) -> None:
+        self.next_seq += 1
+        heapq.heappush(self.ready, (at, self.next_seq, task, attempt))
+
+    def assign_ready(self) -> None:
+        now = time.monotonic()
+        idle = [w for w in self.workers.values() if w.idle]
+        while idle and self.ready and self.ready[0][0] <= now:
+            _, _, task, attempt = heapq.heappop(self.ready)
+            worker = idle.pop()
+            self.next_seq += 1
+            seq = self.next_seq
+            worker.assigned = (seq, task, attempt, now)
+            self.inflight[seq] = (task, attempt)
+            self.started.setdefault(task.name, now)
+            try:
+                worker.queue.put(("task", seq, task))
+            except (OSError, ValueError):
+                # queue to a dying worker; liveness sweep will reassign
+                pass
+
+    def _finish(self, outcome: TaskOutcome) -> None:
+        outcome.worker_deaths = len(self.deaths.get(outcome.name, ()))
+        started = self.started.get(outcome.name)
+        if started is not None and outcome.seconds <= 0.0:
+            outcome.seconds = time.monotonic() - started
+        self.outcomes[outcome.name] = outcome
+
+    def record_done(
+        self, name: str, result: Any, telemetry: NullTelemetry,
+        resumed: bool, attempts: int,
+    ) -> None:
+        if name in self.outcomes:
+            return  # duplicate report (salvaged before the message landed)
+        self.results[name] = result
+        self.pieces[name] = telemetry
+        self._finish(
+            TaskOutcome(
+                name=name,
+                status="resumed" if resumed else "done",
+                attempts=attempts,
+            )
+        )
+        self.log(f"{name}: {'resumed' if resumed else 'done'}")
+
+    def record_failed(self, name: str, attempts: int, error: str) -> None:
+        if name in self.outcomes:
+            return
+        self._finish(
+            TaskOutcome(
+                name=name, status="failed", attempts=attempts, error=error
+            )
+        )
+        self.log(f"{name}: failed after {attempts} attempt(s): {error}")
+
+    def quarantine(self, task: Any, attempts: int) -> None:
+        name = task.name
+        if name in self.outcomes:
+            return
+        directory = os.path.join(self.fleet_dir, "quarantine")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"quarantine-{_slug(name)}.json")
+        payload: Dict[str, Any] = {
+            "task": name,
+            "type": type(task).__name__,
+            "attempts": attempts,
+            "worker_deaths": sorted(self.deaths.get(name, ())),
+            "recipe": _recipe_of(task),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        self._finish(
+            TaskOutcome(
+                name=name,
+                status="quarantined",
+                attempts=attempts,
+                error=(
+                    f"poison job: killed {len(self.deaths.get(name, ()))} "
+                    f"workers; reproducer at {path}"
+                ),
+            )
+        )
+        self.log(f"{name}: quarantined (reproducer: {path})")
+
+    def salvage_or_requeue(self, worker: _Worker) -> None:
+        """A worker died holding a task: salvage, requeue, or quarantine."""
+        assert worker.assigned is not None
+        seq, task, attempt, _ = worker.assigned
+        self.inflight.pop(seq, None)
+        name = task.name
+        self.store.refresh()
+        if self.store.has("unit", name):
+            # died after persisting the result but before reporting it
+            telemetry: NullTelemetry = NullTelemetry()
+            if self.store.has("telemetry", telemetry_key(name)):
+                telemetry = self.store.load("telemetry", telemetry_key(name))
+            self.record_done(
+                name, self.store.load("unit", name), telemetry,
+                resumed=False, attempts=attempt,
+            )
+            return
+        dead = self.deaths.setdefault(name, set())
+        dead.add(worker.id)
+        if len(dead) >= self.options.max_worker_deaths:
+            self.quarantine(task, attempts=attempt)
+            return
+        self.log(
+            f"{name}: worker {worker.id} died mid-task; requeueing "
+            f"(death {len(dead)}/{self.options.max_worker_deaths})"
+        )
+        self.enqueue(task, attempt, at=time.monotonic())
+
+    # -- supervision sweeps --------------------------------------------
+    def drain_results(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    message = self.result_queue.get(timeout=remaining)
+                else:
+                    message = self.result_queue.get_nowait()
+            except (Empty, OSError, ValueError):
+                return
+            kind = message[0]
+            if kind == "done":
+                _, worker_id, seq, name, result, telemetry, resumed = message
+                self._release(worker_id, seq)
+                task_attempt = self.inflight.pop(seq, None)
+                attempts = task_attempt[1] if task_attempt else 1
+                self.record_done(name, result, telemetry, resumed, attempts)
+            elif kind == "fail":
+                _, worker_id, seq, name, error, retryable = message
+                self._release(worker_id, seq)
+                task_attempt = self.inflight.pop(seq, None)
+                if task_attempt is None:
+                    continue
+                task, attempt = task_attempt
+                if retryable and attempt <= self.retry.max_retries:
+                    delay = self.retry.backoff(name, attempt)
+                    self.log(
+                        f"{name}: attempt {attempt} failed ({error}); "
+                        f"retrying in {delay:.2f}s"
+                    )
+                    self.enqueue(task, attempt + 1, time.monotonic() + delay)
+                else:
+                    self.record_failed(name, attempt, error)
+            if remaining <= 0:
+                return
+
+    def _release(self, worker_id: int, seq: int) -> None:
+        worker = self.workers.get(worker_id)
+        if worker is not None and worker.assigned is not None:
+            if worker.assigned[0] == seq:
+                worker.assigned = None
+
+    def sweep_liveness(self) -> None:
+        now = time.monotonic()
+        for worker in list(self.workers.values()):
+            hung = False
+            if worker.process.exitcode is None:
+                stale = self.monitor.stale(worker.id)
+                overrun = (
+                    self.options.task_timeout_seconds is not None
+                    and worker.assigned is not None
+                    and now - worker.assigned[3]
+                    > self.options.task_timeout_seconds
+                )
+                if not stale and not overrun:
+                    continue
+                hung = True
+                why = "heartbeat stale" if stale else "task timeout"
+                self.log(
+                    f"worker {worker.id}: {why}; sending SIGKILL"
+                )
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            # dead (either found dead, or just killed for hanging)
+            exitcode = worker.process.exitcode
+            self.log(
+                f"worker {worker.id}: dead (exitcode {exitcode}"
+                + (", hung" if hung else "")
+                + ")"
+            )
+            if worker.assigned is not None:
+                self.salvage_or_requeue(worker)
+            del self.workers[worker.id]
+            self.monitor.forget(worker.id)
+            if self.unfinished():
+                self.spawn_worker()
+
+    def unfinished(self) -> bool:
+        return len(self.outcomes) < len(self.tasks)
+
+    # -- final assembly -------------------------------------------------
+    def report(self, status_override: Optional[str], wall: float) -> FleetReport:
+        ordered = [
+            self.outcomes[task.name]
+            for task in self.tasks
+            if task.name in self.outcomes
+        ]
+        quarantined = [o.name for o in ordered if o.status == "quarantined"]
+        if status_override is not None:
+            status = status_override
+        elif quarantined:
+            status = "quarantined"
+        else:
+            done = [o for o in ordered if o.status in ("done", "resumed")]
+            bad = [o for o in ordered if o.status == "failed"]
+            if not bad:
+                status = "ok"
+            elif done:
+                status = "partial"
+            else:
+                status = "failed"
+        telemetry = merge_telemetry(
+            [
+                self.pieces[task.name]
+                for task in self.tasks
+                if task.name in self.pieces
+            ]
+        )
+        return FleetReport(
+            status=status,
+            outcomes=ordered,
+            results=dict(self.results),
+            telemetry=telemetry,
+            quarantined=quarantined,
+            wall_seconds=wall,
+            workers_spawned=self.workers_spawned,
+        )
+
+
+def _recipe_of(task: Any) -> Dict[str, Any]:
+    import dataclasses
+
+    if dataclasses.is_dataclass(task):
+        return dataclasses.asdict(task)
+    return {"repr": repr(task)}
+
+
+def run_fleet(
+    tasks: Sequence[Any],
+    store: CheckpointStore,
+    options: Optional[FleetOptions] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FleetReport:
+    """Run ``tasks`` on a supervised spawn pool; returns a
+    :class:`FleetReport` equal to the serial run's, whatever happens to
+    the workers along the way."""
+    options = options if options is not None else FleetOptions()
+    run = _FleetRun(tasks, store, options, log if log is not None else _null_log)
+    watchdog = (
+        Watchdog(options.deadline_seconds)
+        if options.deadline_seconds is not None
+        else None
+    )
+    started = time.monotonic()
+    status_override: Optional[str] = None
+    # pre-salvage: anything this store already completed never hits a queue
+    run.store.refresh()
+    for task in run.tasks:
+        if run.store.has("unit", task.name):
+            telemetry: NullTelemetry = NullTelemetry()
+            if run.store.has("telemetry", telemetry_key(task.name)):
+                telemetry = run.store.load(
+                    "telemetry", telemetry_key(task.name)
+                )
+            run.record_done(
+                task.name, run.store.load("unit", task.name), telemetry,
+                resumed=True, attempts=0,
+            )
+        else:
+            run.enqueue(task, attempt=1, at=started)
+    with GracefulShutdown() as shutdown:
+        force = False
+        try:
+            if run.unfinished():
+                run.start_workers()
+            while run.unfinished():
+                if shutdown.requested:
+                    status_override = "interrupted"
+                    run.log("shutdown requested; stopping fleet")
+                    break
+                if watchdog is not None and watchdog.expired:
+                    status_override = "deadline"
+                    run.log("fleet deadline exceeded; stopping")
+                    break
+                run.assign_ready()
+                run.drain_results(options.poll_interval_seconds)
+                run.sweep_liveness()
+            if status_override is not None:
+                force = True
+        finally:
+            run.stop_workers(force=force)
+    return run.report(status_override, time.monotonic() - started)

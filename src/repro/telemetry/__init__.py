@@ -45,6 +45,7 @@ from .registry import (
     Gauge,
     Histogram,
     LabeledCounter,
+    LabeledGauge,
     MetricsRegistry,
     RingSeries,
     TickSeries,
@@ -58,6 +59,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LabeledCounter",
+    "LabeledGauge",
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
@@ -208,8 +210,8 @@ class Telemetry(NullTelemetry):
         reg.gauge("engine_delivered_total_packets").set(
             float(engine.packets_delivered)
         )
-        serviced = reg.labeled("link_serviced_packets")
-        dropped = reg.labeled("link_dropped_packets")
+        serviced = reg.labeled_gauge("link_serviced_packets")
+        dropped = reg.labeled_gauge("link_dropped_packets")
         for link in engine.topology.links():
             key = f"{link.src}->{link.dst}"
             serviced[key] = int(link.serviced_total)

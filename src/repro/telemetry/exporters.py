@@ -23,6 +23,7 @@ from .registry import (
     Gauge,
     Histogram,
     LabeledCounter,
+    LabeledGauge,
     MetricsRegistry,
     RingSeries,
     TickSeries,
@@ -92,7 +93,10 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {metric.value:g}")
         elif isinstance(metric, LabeledCounter):
-            lines.append(f"# TYPE {name} counter")
+            # LabeledGauge subclasses LabeledCounter: same rows, but an
+            # absolute scrape is a gauge, not a counter
+            kind = "gauge" if isinstance(metric, LabeledGauge) else "counter"
+            lines.append(f"# TYPE {name} {kind}")
             for label in sorted(metric, key=repr):
                 value = float(metric[label])
                 lines.append(f'{name}{{label="{label}"}} {value:g}')

@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LabeledCounter",
+    "LabeledGauge",
     "MetricsRegistry",
     "RingSeries",
     "TickSeries",
@@ -122,6 +123,22 @@ class LabeledCounter(Dict[K, int]):
 
     def snapshot(self) -> Dict[str, float]:
         return {str(label): float(self[label]) for label in self}
+
+
+class LabeledGauge(LabeledCounter[K]):
+    """A ``dict`` of per-label *absolute* values (last write wins).
+
+    Same container as :class:`LabeledCounter`, different reduction
+    semantics: scrapes of running totals (e.g. per-link serviced counts
+    at the end of each ``Engine.run`` call) assign the current absolute
+    value, so re-scraping the same engine is idempotent and merging two
+    telemetry shards keeps the later shard's value instead of summing.
+    """
+
+    kind = "labeled_gauge"
+
+    def set(self, label: K, value: int) -> None:
+        self[label] = value
 
 
 class BinnedCounter(Dict[Hashable, Dict[int, int]]):
@@ -289,6 +306,7 @@ Metric = Union[
     Counter,
     Gauge,
     LabeledCounter[Hashable],
+    LabeledGauge[Hashable],
     BinnedCounter,
     TickSeries,
     RingSeries,
@@ -347,6 +365,11 @@ class MetricsRegistry:
     def labeled(self, name: str) -> "LabeledCounter[Hashable]":
         metric = self._bind(name, "labeled", LabeledCounter())
         assert isinstance(metric, LabeledCounter)
+        return metric
+
+    def labeled_gauge(self, name: str) -> "LabeledGauge[Hashable]":
+        metric = self._bind(name, "labeled_gauge", LabeledGauge())
+        assert isinstance(metric, LabeledGauge)
         return metric
 
     def binned(self, name: str) -> BinnedCounter:

@@ -281,3 +281,140 @@ class TestFLC005MutableDefaults:
             """,
         )
         assert found == []
+
+
+class TestFLC007SpawnSafety:
+    def test_lambda_into_fleet_sink_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            def dispatch(tasks, store, run_fleet):
+                return run_fleet([lambda ctx: 1], store)
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+        assert "pickle" in found[0].message
+
+    def test_lambda_process_target_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            def spawn(ctx):
+                return ctx.Process(target=lambda: None)
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+
+    def test_fork_context_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            from multiprocessing import get_context
+
+            def pool():
+                return get_context("fork")
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+        assert "spawn" in found[0].hint
+
+    def test_spawn_context_clean(self):
+        found = findings(
+            "FLC007",
+            """
+            from multiprocessing import get_context
+
+            def pool():
+                return get_context("spawn")
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert found == []
+
+    def test_module_global_mutation_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            RESULTS = {}
+
+            def record(name, value):
+                RESULTS[name] = value
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+        assert "RESULTS" in found[0].message
+
+    def test_global_rebind_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            SEEN = []
+
+            def reset():
+                global SEEN
+                SEEN = []
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+
+    def test_mutator_method_on_global_flagged(self):
+        found = findings(
+            "FLC007",
+            """
+            PENDING = []
+
+            def enqueue_local(item):
+                PENDING.append(item)
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert len(found) == 1
+        assert ".append()" in found[0].message
+
+    def test_local_shadow_is_clean(self):
+        found = findings(
+            "FLC007",
+            """
+            PENDING = []
+
+            def drain():
+                PENDING = []
+                PENDING.append(1)
+                return PENDING
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert found == []
+
+    def test_instance_state_is_clean(self):
+        found = findings(
+            "FLC007",
+            """
+            class Run:
+                def __init__(self):
+                    self.pending = []
+
+                def enqueue_local(self, item):
+                    self.pending.append(item)
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert found == []
+
+    def test_out_of_scope_module_skipped(self):
+        rule = get_rule("FLC007")
+        mod = module_from(
+            """
+            CACHE = {}
+
+            def put(k, v):
+                CACHE[k] = v
+            """,
+            module="repro.net.fixture",
+        )
+        assert not rule.applies_to(mod)

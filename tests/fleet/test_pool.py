@@ -1,0 +1,187 @@
+"""The fleet supervisor: determinism, salvage, retry, quarantine.
+
+These tests spawn real worker processes (the whole point of the fleet),
+so they use the cheapest figures and tiny campaign counts.  Task classes
+live at module level: spawn workers import this module by name to
+unpickle them.
+"""
+
+import os
+import pickle
+import signal
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import FunctionalSettings
+from repro.fleet import (
+    FleetOptions,
+    figure_tasks,
+    merge_telemetry,
+    run_fleet,
+)
+from repro.runner import CheckpointStore, RetryPolicy, SupervisedRunner
+from repro.runner.figures import build_figure_job
+from repro.telemetry import Telemetry, use
+from repro.telemetry.exporters import render_prometheus
+
+
+def settings():
+    return FunctionalSettings(
+        scale=0.05, warmup_seconds=0.5, measure_seconds=1.0, seed=3
+    )
+
+
+@dataclass(frozen=True)
+class PoisonTask:
+    """Kills every worker that touches it."""
+
+    label: str = "poison"
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def run(self, ctx):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class FlakyTask:
+    """Fails on the first attempt, succeeds once its marker exists."""
+
+    marker: str
+    label: str = "flaky"
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def run(self, ctx):
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w", encoding="utf-8") as fh:
+                fh.write("attempted\n")
+            raise ValueError("transient failure (first attempt)")
+        return "recovered"
+
+
+class TestOptions:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            FleetOptions(workers=0).validate()
+
+    def test_heartbeat_timeout_must_exceed_interval(self):
+        with pytest.raises(ConfigError):
+            FleetOptions(
+                heartbeat_interval_seconds=1.0, heartbeat_timeout_seconds=0.5
+            ).validate()
+
+    def test_duplicate_task_names_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "store"))
+        tasks = [PoisonTask(), PoisonTask()]
+        with pytest.raises(ConfigError):
+            run_fleet(tasks, store)
+
+
+class TestDeterminism:
+    def test_fleet_matches_serial_results_and_telemetry(self, tmp_path):
+        figures = ["fig03", "fig04"]
+        jobs = {f: build_figure_job(f, settings()) for f in figures}
+
+        serial_tel = Telemetry(mode="metrics")
+        serial_results = {}
+        with use(serial_tel):
+            for fig in figures:
+                report = SupervisedRunner().run_units(jobs[fig].units)
+                assert report.ok
+                serial_results.update(report.results)
+
+        tasks = [t for f in figures for t in figure_tasks(f, settings())]
+        fleet = run_fleet(
+            tasks,
+            CheckpointStore(str(tmp_path / "store")),
+            FleetOptions(workers=2, telemetry_mode="metrics"),
+        )
+        assert fleet.status == "ok"
+        assert [o.status for o in fleet.outcomes] == ["done"] * len(tasks)
+        assert set(fleet.results) == set(serial_results)
+        for name in serial_results:
+            assert pickle.dumps(fleet.results[name]) == pickle.dumps(
+                serial_results[name]
+            ), f"{name} diverged from serial"
+        assert render_prometheus(fleet.telemetry.registry) == render_prometheus(
+            serial_tel.registry
+        )
+        assert (
+            fleet.telemetry.registry.snapshot() == serial_tel.registry.snapshot()
+        )
+
+    def test_completed_store_resumes_without_spawning(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "store"))
+        tasks = figure_tasks("fig03", settings())
+        first = run_fleet(tasks, store, FleetOptions(workers=1))
+        assert first.status == "ok"
+        assert first.workers_spawned >= 1
+
+        second = run_fleet(tasks, store, FleetOptions(workers=1))
+        assert second.status == "ok"
+        assert second.workers_spawned == 0  # pre-salvage found everything
+        assert [o.status for o in second.outcomes] == ["resumed"] * len(tasks)
+        for name in first.results:
+            assert pickle.dumps(second.results[name]) == pickle.dumps(
+                first.results[name]
+            )
+
+
+class TestFaultTolerance:
+    def test_transient_failure_retries_on_fresh_worker(self, tmp_path):
+        task = FlakyTask(marker=str(tmp_path / "marker"))
+        fleet = run_fleet(
+            [task],
+            CheckpointStore(str(tmp_path / "store")),
+            FleetOptions(workers=1, retry=RetryPolicy(max_retries=2, seed=0)),
+        )
+        assert fleet.status == "ok"
+        outcome = fleet.outcomes[0]
+        assert outcome.status == "done"
+        assert outcome.attempts == 2
+        assert fleet.results[task.name] == "recovered"
+
+    def test_poison_task_is_quarantined_with_reproducer(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "store"))
+        fleet = run_fleet(
+            [PoisonTask()],
+            store,
+            FleetOptions(workers=1, max_worker_deaths=2),
+        )
+        assert fleet.status == "quarantined"
+        assert fleet.quarantined == ["poison"]
+        outcome = fleet.outcomes[0]
+        assert outcome.status == "quarantined"
+        assert outcome.worker_deaths == 2
+        # the poison job burned through distinct replacement workers
+        assert fleet.workers_spawned >= 2
+        assert "reproducer" in (outcome.error or "")
+        quarantine_dir = os.path.join(store.root, "fleet", "quarantine")
+        files = os.listdir(quarantine_dir)
+        assert files, "no reproducer artifact written"
+
+    def test_healthy_tasks_survive_a_poison_neighbour(self, tmp_path):
+        tasks = [PoisonTask()] + figure_tasks("fig03", settings())
+        fleet = run_fleet(
+            tasks,
+            CheckpointStore(str(tmp_path / "store")),
+            FleetOptions(workers=2, max_worker_deaths=2),
+        )
+        assert fleet.status == "quarantined"
+        by_name = {o.name: o for o in fleet.outcomes}
+        assert by_name["poison"].status == "quarantined"
+        assert by_name["fig03"].status == "done"
+        assert "fig03" in fleet.results
+
+
+class TestMergeExport:
+    def test_merge_telemetry_reexported_from_package(self):
+        # the CLI and CI lane import the reduction via the package root
+        assert merge_telemetry([]).enabled is False

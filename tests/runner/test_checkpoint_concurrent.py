@@ -1,0 +1,146 @@
+"""Concurrent-writer and crash-window safety of the checkpoint store.
+
+The fleet points several spawn workers at one ``CheckpointStore``, so
+the manifest must survive (a) true multiprocess write races and (b) a
+writer SIGKILLed anywhere in its save sequence — including while holding
+the manifest lock.  These tests drive both directly, without the fleet.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runner.checkpoint import _ManifestLock, CheckpointStore
+
+
+def _writer(root, worker, per_worker):
+    store = CheckpointStore(root)
+    for i in range(per_worker):
+        store.save("unit", f"w{worker}-item{i}", {"worker": worker, "i": i})
+
+
+def _crashing_writer(root, barrier):
+    """Saves one entry, then SIGKILLs itself while holding the lock."""
+    store = CheckpointStore(root)
+    store.save("unit", "survivor", "saved before the crash")
+    lock_path = os.path.join(root, "MANIFEST.lock")
+    # grab the manifest lock the way a save would, then die holding it
+    fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    os.write(fd, str(os.getpid()).encode())
+    os.close(fd)
+    barrier.set()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_lose_no_entries(self, tmp_path):
+        root = str(tmp_path / "store")
+        CheckpointStore(root)  # create the manifest up front
+        ctx = multiprocessing.get_context("spawn")
+        workers, per_worker = 4, 6
+        procs = [
+            ctx.Process(target=_writer, args=(root, w, per_worker))
+            for w in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = CheckpointStore(root)
+        names = store.names("unit")
+        assert len(names) == workers * per_worker
+        for w in range(workers):
+            for i in range(per_worker):
+                assert store.load("unit", f"w{w}-item{i}") == {
+                    "worker": w, "i": i,
+                }
+
+    def test_same_key_race_keeps_manifest_consistent(self, tmp_path):
+        root = str(tmp_path / "store")
+        CheckpointStore(root)
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_same_key_writer, args=(root, w))
+            for w in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = CheckpointStore(root)
+        value = store.load("unit", "contended")
+        assert value in {f"writer-{w}" for w in range(3)}
+        # the manifest entry's digest matches the file it points at
+        with open(os.path.join(root, "MANIFEST.json"), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        entry = manifest["entries"]["unit/contended"]
+        assert os.path.exists(os.path.join(root, entry["file"]))
+
+
+def _same_key_writer(root, worker):
+    CheckpointStore(root).save("unit", "contended", f"writer-{worker}")
+
+
+class TestCrashWindow:
+    def test_sigkill_holding_lock_does_not_wedge_the_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        CheckpointStore(root)
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Event()
+        proc = ctx.Process(target=_crashing_writer, args=(root, barrier))
+        proc.start()
+        assert barrier.wait(timeout=60)
+        proc.join(timeout=60)
+        assert proc.exitcode == -signal.SIGKILL
+
+        lock_path = os.path.join(root, "MANIFEST.lock")
+        assert os.path.exists(lock_path), "crash should leave the lock behind"
+        # age the orphaned lock past the stale threshold instead of waiting
+        old = time.time() - 60
+        os.utime(lock_path, (old, old))
+
+        store = CheckpointStore(root)
+        assert store.load("unit", "survivor") == "saved before the crash"
+        store.save("unit", "after-crash", 42)  # breaks the stale lock
+        assert not os.path.exists(lock_path)
+        assert store.load("unit", "after-crash") == 42
+
+    def test_fresh_lock_is_waited_for_not_broken(self, tmp_path):
+        path = str(tmp_path / "lock")
+        with _ManifestLock(path):
+            contender = _ManifestLock(
+                path, timeout_seconds=0.3, stale_seconds=10.0,
+            )
+            with pytest.raises(CheckpointError):
+                contender.__enter__()
+            assert os.path.exists(path)  # a live holder's lock survives
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = str(tmp_path / "lock")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("99999")
+        old = time.time() - 60
+        os.utime(path, (old, old))
+        with _ManifestLock(path, timeout_seconds=2.0, stale_seconds=10.0):
+            pass  # acquired by breaking the stale file
+        assert not os.path.exists(path)
+
+    def test_orphaned_payload_never_enters_manifest(self, tmp_path):
+        # simulate a writer killed after _atomic_write but before the
+        # manifest update: the file exists, the manifest ignores it
+        root = str(tmp_path / "store")
+        store = CheckpointStore(root)
+        store.save("unit", "real", 1)
+        orphan = os.path.join(root, "unit-orphan-deadbeef.pkl")
+        with open(orphan, "wb") as fh:
+            fh.write(b"garbage")
+        fresh = CheckpointStore(root)
+        assert fresh.names("unit") == ["real"]
+        assert not fresh.has("unit", "orphan")

@@ -157,3 +157,52 @@ class TestExecution:
         ) == 0
         out = capsys.readouterr().out
         assert "attack" in out
+
+
+class TestMultiJobRuns:
+    def test_figures_flag_accepts_several(self):
+        args = build_parser().parse_args(["run", "fig03", "fig04"])
+        assert args.figures == ["fig03", "fig04"]
+        assert args.workers is None
+
+    def test_workers_and_process_faults_parsed(self):
+        args = build_parser().parse_args(["run", "fig03", "--workers", "2"])
+        assert args.workers == 2
+        args = build_parser().parse_args(
+            ["chaos", "--workers", "2", "--process-faults", "1"]
+        )
+        assert args.workers == 2
+        assert args.process_faults == 1
+
+    def test_multi_figure_serial_prints_status_table(self, capsys):
+        assert main(["run", "fig03", "fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "job statuses" in out
+        assert "1500" in out  # fig03 table
+        assert "synchronized" in out  # fig04 table
+
+    def test_duplicate_figures_deduplicated(self, capsys):
+        assert main(["run", "fig03", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("packet-size distribution") == 1
+
+    def test_single_figure_keeps_quiet_output(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        assert "job statuses" not in capsys.readouterr().out
+
+    def test_process_faults_require_workers(self, capsys):
+        assert main(["chaos", "--campaigns", "1", "--process-faults", "1"]) == 2
+        assert "requires --workers" in capsys.readouterr().err
+
+    def test_run_with_workers_matches_serial(self, tmp_path, capsys):
+        serial_csv = tmp_path / "serial"
+        fleet_csv = tmp_path / "fleet"
+        assert main(["run", "fig03", "--csv", str(serial_csv)]) == 0
+        assert main(
+            ["run", "fig03", "--workers", "1", "--csv", str(fleet_csv)]
+        ) == 0
+        capsys.readouterr()
+        assert (
+            (serial_csv / "fig03.csv").read_text()
+            == (fleet_csv / "fig03.csv").read_text()
+        )
