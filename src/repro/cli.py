@@ -9,7 +9,10 @@ Commands
     print their rows (e.g. ``run fig08``, ``run fig06 fig07 fig08``).
     With ``--workers N`` the unit jobs execute on the crash-isolated
     multiprocess fabric (:mod:`repro.fleet`) instead of in-process;
-    results and telemetry are byte-identical either way.
+    results and telemetry are byte-identical either way.  For the
+    internet-scale figures, ``--shards N`` splits each unit's flow
+    population over N lock-step workers (barrier-synchronized, with
+    per-epoch checkpoint salvage) — still byte-identical to serial.
 ``quickstart``
     The README quickstart: FLoc on a flooded link, bandwidth breakdown.
 ``chaos [options]``
@@ -58,7 +61,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis.export import write_csv
 from .analysis.report import format_table
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .experiments.common import FunctionalSettings
 
 FIGURES = {
@@ -95,6 +98,48 @@ _STATUS_ORDER = (
 
 def _worst_status(statuses) -> str:
     return max(statuses, key=_STATUS_ORDER.index, default="ok")
+
+
+#: Cap for auto-detected worker/shard counts: these workloads stop
+#: scaling long before the core counts shared CI runners advertise.
+_AUTO_CAP = 8
+
+
+def _auto_count(value: Optional[int]) -> Optional[int]:
+    """Resolve ``--workers 0`` / ``--shards 0`` to a detected count."""
+    if value == 0:
+        return min(os.cpu_count() or 1, _AUTO_CAP)
+    return value
+
+
+def _heartbeat_from(args, default_timeout: float) -> Tuple[float, float]:
+    """Heartbeat (interval, timeout): flag > environment > default.
+
+    ``REPRO_HEARTBEAT_INTERVAL`` / ``REPRO_HEARTBEAT_TIMEOUT`` let CI
+    and wrapper scripts tune liveness conviction without threading flags
+    through every call site; an explicit flag still wins.
+    """
+    def from_env(name: str, fallback: float) -> float:
+        env = os.environ.get(name)
+        if not env:
+            return fallback
+        try:
+            value = float(env)
+        except ValueError:
+            raise ConfigError(
+                f"{name}={env!r} is not a number of seconds"
+            ) from None
+        if value <= 0:
+            raise ConfigError(f"{name}={env!r} must be > 0 seconds")
+        return value
+
+    interval = getattr(args, "heartbeat_interval", None)
+    if interval is None:
+        interval = from_env("REPRO_HEARTBEAT_INTERVAL", 0.1)
+    timeout = getattr(args, "heartbeat_timeout", None)
+    if timeout is None:
+        timeout = from_env("REPRO_HEARTBEAT_TIMEOUT", default_timeout)
+    return interval, timeout
 
 
 def _settings(args) -> FunctionalSettings:
@@ -166,6 +211,52 @@ def _fig_status(freport, names: List[str]) -> str:
     return "partial" if done else "failed"
 
 
+def _shard_fig_status(freport, tasks, names: List[str]) -> str:
+    """Figure status from shard-gang outcomes: a unit counts as done
+    only when *every* one of its shards finished."""
+    by_name = {o.name: o for o in freport.outcomes}
+    per_unit: List[str] = []
+    for unit in names:
+        members = [t.name for t in tasks if t.unit == unit]
+        outs = [by_name[m] for m in members if m in by_name]
+        missing = len(members) - len(outs)
+        if any(o.status == "quarantined" for o in outs):
+            per_unit.append("quarantined")
+        elif not missing and all(
+            o.status in ("done", "resumed") for o in outs
+        ):
+            per_unit.append("ok")
+        elif missing and freport.status in ("deadline", "interrupted"):
+            per_unit.append(freport.status)
+        else:
+            per_unit.append("failed")
+    if any(s == "quarantined" for s in per_unit):
+        return "quarantined"
+    if per_unit and all(s == "ok" for s in per_unit):
+        return "ok"
+    if any(s in ("deadline", "interrupted") for s in per_unit):
+        return freport.status
+    return "partial" if any(s == "ok" for s in per_unit) else "failed"
+
+
+def _merge_shard_units(tasks, results: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold per-shard pieces into per-unit results, unit names matching
+    the serial runner's.  Units with any shard missing are dropped —
+    the figure finalizer reports them as missing rather than rendering
+    rows from a partial flow population."""
+    from .inet.shard import merge_shard_results
+
+    by_unit: Dict[str, List[Any]] = {}
+    for task in tasks:
+        piece = results.get(task.name)
+        by_unit.setdefault(task.unit, []).append(piece)
+    merged: Dict[str, Any] = {}
+    for unit, pieces in by_unit.items():
+        if all(piece is not None for piece in pieces):
+            merged[unit] = merge_shard_results(pieces)
+    return merged
+
+
 def _run_figures(args) -> int:
     from .runner import (
         CheckpointStore,
@@ -173,11 +264,32 @@ def _run_figures(args) -> int:
         SupervisedRunner,
         build_figure_job,
     )
+    from .fleet.jobs import INTERNET_PLACEMENTS
     from .telemetry import use
 
     figures = list(dict.fromkeys(args.figures))
     settings = _settings(args)
     variants = tuple(args.variants)
+    args.workers = _auto_count(args.workers)
+    shards = _auto_count(getattr(args, "shards", None))
+    if shards is not None:
+        if shards < 1:
+            raise ConfigError(f"--shards must be >= 1 (or 0 = auto), got {shards}")
+        outside = [f for f in figures if f not in INTERNET_PLACEMENTS]
+        if outside:
+            raise ConfigError(
+                f"--shards applies only to the internet-scale figures "
+                f"{tuple(sorted(INTERNET_PLACEMENTS))}; got {outside}"
+            )
+        if args.workers is None:
+            args.workers = shards
+        if args.workers < shards:
+            raise ConfigError(
+                f"--workers {args.workers} cannot seat a {shards}-shard "
+                "gang; use --workers >= --shards"
+            )
+    if getattr(args, "process_faults", 0) and args.workers is None:
+        raise ConfigError("--process-faults requires --workers or --shards")
     jobs = {
         fig: build_figure_job(fig, settings, variants=variants)
         for fig in figures
@@ -211,6 +323,12 @@ def _run_figures(args) -> int:
                 if k not in ("kind", "figure")
             }
         )
+    if shards is not None:
+        # a sharded store is not resumable by a serial run (and vice
+        # versa): state keys, exchange layout and epochs all differ
+        fingerprint = dict(fingerprint)
+        fingerprint["shards"] = shards
+        fingerprint["epoch_ticks"] = args.epoch_ticks
     if store is not None:
         store.check_job(fingerprint)
 
@@ -220,13 +338,43 @@ def _run_figures(args) -> int:
     unit_rows: List[Tuple[str, str, int, str]] = []
 
     if args.workers is not None:
-        from .fleet import FleetOptions, figure_tasks, run_fleet
+        from .fleet import (
+            FleetOptions,
+            figure_tasks,
+            run_fleet,
+            sample_process_faults,
+            shard_figure_tasks,
+        )
 
-        tasks = [
-            task
-            for fig in figures
-            for task in figure_tasks(fig, settings, variants=variants)
-        ]
+        if shards is not None:
+            tasks = [
+                task
+                for fig in figures
+                for task in shard_figure_tasks(
+                    fig,
+                    shards,
+                    variants=variants,
+                    epoch_ticks=args.epoch_ticks,
+                    barrier_timeout_seconds=args.barrier_timeout,
+                )
+            ]
+        else:
+            tasks = [
+                task
+                for fig in figures
+                for task in figure_tasks(fig, settings, variants=variants)
+            ]
+        plan = None
+        if getattr(args, "process_faults", 0):
+            plan = sample_process_faults(
+                args.seed,
+                [t.name for t in tasks],
+                args.process_faults,
+                prefer="#s" if shards is not None else None,
+            )
+        hb_interval, hb_timeout = _heartbeat_from(
+            args, 5.0 if plan is not None else 30.0
+        )
         mode = getattr(args, "telemetry", "off")
         freport = run_fleet(
             tasks,
@@ -237,16 +385,26 @@ def _run_figures(args) -> int:
                 sanitize=settings.sanitize,
                 retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
                 deadline_seconds=args.deadline,
+                fault_plan=plan,
+                heartbeat_interval_seconds=hb_interval,
+                heartbeat_timeout_seconds=hb_timeout,
             ),
             log=_runner_log,
         )
         tel = freport.telemetry
         results = dict(freport.results)
         unit_rows = freport.summary_rows()
-        for fig in figures:
-            statuses[fig] = _fig_status(
-                freport, [name for name, _ in jobs[fig].units]
-            )
+        if shards is not None:
+            results = _merge_shard_units(tasks, results)
+            for fig in figures:
+                statuses[fig] = _shard_fig_status(
+                    freport, tasks, [name for name, _ in jobs[fig].units]
+                )
+        else:
+            for fig in figures:
+                statuses[fig] = _fig_status(
+                    freport, [name for name, _ in jobs[fig].units]
+                )
     else:
         with use(tel):
             for fig in figures:
@@ -382,9 +540,9 @@ def _chaos(args) -> int:
         artifact_dir=args.artifact_dir,
     )
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
-    from .errors import ConfigError
     from .telemetry import use
 
+    args.workers = _auto_count(args.workers)
     if args.process_faults and args.workers is None:
         raise ConfigError("--process-faults requires --workers")
 
@@ -420,6 +578,12 @@ def _chaos(args) -> int:
             }
         )
         mode = getattr(args, "telemetry", "off")
+        # default conviction: fast (5s) under a fault plan — the
+        # heartbeat pulse runs on its own thread, so 5s of silence from
+        # a live worker cannot happen by accident — else a generous 30s
+        hb_interval, hb_timeout = _heartbeat_from(
+            args, 5.0 if plan is not None else 30.0
+        )
         freport = run_fleet(
             tasks,
             store,
@@ -429,10 +593,8 @@ def _chaos(args) -> int:
                 retry=RetryPolicy(seed=args.seed),
                 deadline_seconds=args.deadline,
                 fault_plan=plan,
-                # convict deliberately stalled workers quickly; the
-                # heartbeat pulse runs on its own thread, so 5s of
-                # silence from a live worker cannot happen by accident
-                heartbeat_timeout_seconds=5.0 if plan is not None else 30.0,
+                heartbeat_interval_seconds=hb_interval,
+                heartbeat_timeout_seconds=hb_timeout,
             ),
             log=_runner_log,
         )
@@ -616,7 +778,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, metavar="N", default=None,
         help="run unit jobs on N supervised worker processes (the fleet: "
              "crash isolation, hang detection, checkpoint salvage); "
-             "results and telemetry match the serial run byte for byte",
+             "results and telemetry match the serial run byte for byte; "
+             "0 auto-detects (cpu count, capped at 8)",
+    )
+    run.add_argument(
+        "--shards", type=int, metavar="N", default=None,
+        help="shard each internet-scale figure unit's flow population "
+             "over N lock-step fleet workers (barrier-synchronized, "
+             "per-epoch checkpoints, byte-identical to serial); "
+             "0 auto-detects (cpu count, capped at 8); implies "
+             "--workers N unless given; internet figures only",
+    )
+    run.add_argument(
+        "--epoch-ticks", type=int, metavar="K", default=50,
+        help="barrier-epoch length for --shards: every K ticks each "
+             "shard checkpoints and garbage-collects its exchange files "
+             "(default 50)",
+    )
+    run.add_argument(
+        "--barrier-timeout", type=float, metavar="SECONDS", default=120.0,
+        help="how long a shard waits at a barrier for a missing peer "
+             "before raising a retryable straggler timeout (default 120)",
+    )
+    run.add_argument(
+        "--process-faults", type=int, metavar="N", default=0,
+        help="inject N process-level faults (worker SIGKILL / heartbeat "
+             "stall) into the fleet; sharded runs aim them at shard "
+             "workers; requires --workers or --shards",
     )
     run.add_argument(
         "--variants", nargs="+", default=["f-root"],
@@ -646,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, metavar="N", default=1,
         help="max retries per unit for transient failures (default 1)",
     )
+    _add_heartbeat(run)
     _add_telemetry(run)
 
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
@@ -691,7 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock watchdog deadline for the sweep")
     chaos.add_argument("--workers", type=int, metavar="N", default=None,
                        help="run campaigns on N supervised worker "
-                            "processes (digests match the serial sweep)")
+                            "processes (digests match the serial sweep); "
+                            "0 auto-detects (cpu count, capped at 8)")
     chaos.add_argument("--process-faults", type=int, metavar="N", default=0,
                        help="inject N process-level faults (worker "
                             "SIGKILL / heartbeat stall) into the fleet "
@@ -701,6 +891,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "still fails identically (other flags ignored)")
     chaos.add_argument("--csv", metavar="DIR", default=None,
                        help="also write the sweep table to DIR/chaos.csv")
+    _add_heartbeat(chaos)
     _add_telemetry(chaos)
 
     metrics = sub.add_parser(
@@ -747,6 +938,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     return parser
+
+
+def _add_heartbeat(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--heartbeat-interval", type=float, metavar="SECONDS", default=None,
+        help="worker heartbeat pulse interval (default 0.1; or the "
+             "REPRO_HEARTBEAT_INTERVAL environment variable)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, metavar="SECONDS", default=None,
+        help="silence after which a worker is convicted as hung and "
+             "SIGKILLed (default 30, or 5 under --process-faults; or the "
+             "REPRO_HEARTBEAT_TIMEOUT environment variable)",
+    )
 
 
 def _add_telemetry(parser: argparse.ArgumentParser) -> None:

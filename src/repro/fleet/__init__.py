@@ -29,7 +29,14 @@ from .faults import (
     sample_process_faults,
 )
 from .heartbeat import Heartbeat, HeartbeatMonitor
-from .jobs import ChaosCampaignTask, FigureUnitTask, chaos_tasks, figure_tasks
+from .jobs import (
+    ChaosCampaignTask,
+    FigureUnitTask,
+    ShardUnitTask,
+    chaos_tasks,
+    figure_tasks,
+    shard_figure_tasks,
+)
 from .merge import merge_registries, merge_telemetry
 from .pool import (
     FLEET_STATUSES,
@@ -51,10 +58,12 @@ __all__ = [
     "HeartbeatMonitor",
     "ProcessFault",
     "ProcessFaultPlan",
+    "ShardUnitTask",
     "TaskOutcome",
     "WorkerConfig",
     "chaos_tasks",
     "figure_tasks",
+    "shard_figure_tasks",
     "merge_registries",
     "merge_telemetry",
     "run_fleet",

@@ -18,7 +18,14 @@ queue, all reporting into one result queue.  The supervision loop:
 4. replace dead workers with fresh processes (worker ids are never
    reused, so "distinct workers killed" is well-defined);
 5. assign ready tasks — including ``RetryPolicy``-delayed retries of
-   transient failures — to idle workers.
+   transient failures — to idle workers.  Tasks exposing a non-``None``
+   ``gang`` attribute (e.g. shard tasks of one simulation unit) launch
+   atomically: every unfinished member must be ready and seated at once,
+   because gang members advance lock-step through a barrier exchange and
+   a partial launch would deadlock.  After the initial launch, members
+   re-enter the queue individually (a salvaged member rejoins its
+   still-running peers), and the telemetry fold keeps one piece per gang
+   — members record identical global telemetry by construction.
 
 Determinism: results are keyed by task name and every task is a pure
 function of its recipe, so scheduling cannot change them; telemetry
@@ -200,6 +207,19 @@ class _FleetRun:
         self.deaths: Dict[str, Set[int]] = {}
         self.started: Dict[str, float] = {}
         self.workers_spawned = 0
+        self.gang_members: Dict[str, List[str]] = {}
+        for task in self.tasks:
+            gang = getattr(task, "gang", None)
+            if gang is not None:
+                self.gang_members.setdefault(gang, []).append(task.name)
+        self.gangs_launched: Set[str] = set()
+        for gang, members in self.gang_members.items():
+            if len(members) > options.workers:
+                raise ConfigError(
+                    f"gang {gang!r} needs {len(members)} workers but the "
+                    f"pool has {options.workers}; gangs launch atomically, "
+                    "so workers must cover the largest gang"
+                )
 
     # -- worker lifecycle ----------------------------------------------
     def _config(self) -> WorkerConfig:
@@ -260,22 +280,64 @@ class _FleetRun:
         self.next_seq += 1
         heapq.heappush(self.ready, (at, self.next_seq, task, attempt))
 
+    def _assign(self, worker: _Worker, task: Any, attempt: int) -> None:
+        now = time.monotonic()
+        self.next_seq += 1
+        seq = self.next_seq
+        worker.assigned = (seq, task, attempt, now)
+        self.inflight[seq] = (task, attempt)
+        self.started.setdefault(task.name, now)
+        try:
+            worker.queue.put(("task", seq, task))
+        except (OSError, ValueError):
+            # queue to a dying worker; liveness sweep will reassign
+            pass
+
     def assign_ready(self) -> None:
         now = time.monotonic()
         idle = [w for w in self.workers.values() if w.idle]
-        while idle and self.ready and self.ready[0][0] <= now:
-            _, _, task, attempt = heapq.heappop(self.ready)
-            worker = idle.pop()
-            self.next_seq += 1
-            seq = self.next_seq
-            worker.assigned = (seq, task, attempt, now)
-            self.inflight[seq] = (task, attempt)
-            self.started.setdefault(task.name, now)
-            try:
-                worker.queue.put(("task", seq, task))
-            except (OSError, ValueError):
-                # queue to a dying worker; liveness sweep will reassign
-                pass
+        if not idle or not self.ready or self.ready[0][0] > now:
+            return
+        due: List[Tuple[float, int, Any, int]] = []
+        while self.ready and self.ready[0][0] <= now:
+            due.append(heapq.heappop(self.ready))
+        due_by_name = {entry[2].name: entry for entry in due}
+        taken: Set[str] = set()
+        for entry in due:
+            task, attempt = entry[2], entry[3]
+            if task.name in taken:
+                continue
+            if not idle:
+                break
+            gang = getattr(task, "gang", None)
+            if gang is None or gang in self.gangs_launched:
+                # non-gang tasks, and gang members requeued after a
+                # worker death, assign individually: the surviving
+                # members are still parked in the barrier exchange
+                self._assign(idle.pop(), task, attempt)
+                taken.add(task.name)
+                continue
+            # initial gang launch is all-or-nothing: every member not
+            # already finished must be due *and* seatable right now,
+            # else a partial gang deadlocks at the first barrier
+            pending = [
+                member for member in self.gang_members[gang]
+                if member not in self.outcomes
+            ]
+            if any(member not in due_by_name for member in pending):
+                continue
+            if len(pending) > len(idle):
+                continue
+            for member in pending:
+                m_entry = due_by_name[member]
+                self._assign(idle.pop(), m_entry[2], m_entry[3])
+                taken.add(member)
+            self.gangs_launched.add(gang)
+        for entry in due:
+            if entry[2].name not in taken:
+                # push back under the original (at, seq) key so relative
+                # order is stable across supervision sweeps
+                heapq.heappush(self.ready, entry)
 
     def _finish(self, outcome: TaskOutcome) -> None:
         outcome.worker_deaths = len(self.deaths.get(outcome.name, ()))
@@ -472,13 +534,22 @@ class _FleetRun:
                 status = "partial"
             else:
                 status = "failed"
-        telemetry = merge_telemetry(
-            [
-                self.pieces[task.name]
-                for task in self.tasks
-                if task.name in self.pieces
-            ]
-        )
+        # one telemetry piece per gang: every member of a gang records
+        # the same global stream (shard sims replicate global reductions),
+        # so folding all of them would multiply every counter by the
+        # gang size; the first present member in task order contributes
+        fold: List[NullTelemetry] = []
+        seen_gangs: Set[str] = set()
+        for task in self.tasks:
+            if task.name not in self.pieces:
+                continue
+            gang = getattr(task, "gang", None)
+            if gang is not None:
+                if gang in seen_gangs:
+                    continue
+                seen_gangs.add(gang)
+            fold.append(self.pieces[task.name])
+        telemetry = merge_telemetry(fold)
         return FleetReport(
             status=status,
             outcomes=ordered,

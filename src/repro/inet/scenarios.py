@@ -87,6 +87,7 @@ def build_internet_scenario(
     attack_rate: float = 1.0,
     legit_rate: float = 1.0,
     seed: int = 7,
+    build_flow_links: bool = True,
 ) -> InternetScenario:
     """Assemble one scenario.
 
@@ -94,6 +95,12 @@ def build_internet_scenario(
     target) is reached with ``n_legit_sources=10_000, n_bots=100_000,
     n_as=2000, n_legit_ases=200, target_capacity=16_000``; defaults are a
     5x reduction with identical ratios so the benches run in seconds.
+
+    ``build_flow_links=False`` skips the per-flow link-chain table — the
+    only O(flows) Python loop in assembly.  The fluid simulator never
+    reads ``flow_links`` (it works on per-AS aggregates), so 10^6-flow
+    shard benches turn it off; anything that walks per-flow paths needs
+    the default.
     """
     if placement not in PLACEMENTS:
         raise ConfigError(f"unknown placement {placement!r}; choose {PLACEMENTS}")
@@ -159,19 +166,20 @@ def build_internet_scenario(
         )
 
     flow_links: List[np.ndarray] = []
-    path_cache: Dict[int, np.ndarray] = {}
-    for asn in flow_origin_as:
-        links = path_cache.get(asn)
-        if links is None:
-            chain = []
-            node = int(asn)
-            while node != 0:
-                chain.append(node)  # link id == AS id for asn -> parent
-                node = topo.parent[node]
-            chain.append(0)  # the target link
-            links = np.asarray(chain, dtype=np.int64)
-            path_cache[int(asn)] = links
-        flow_links.append(links)
+    if build_flow_links:
+        path_cache: Dict[int, np.ndarray] = {}
+        for asn in flow_origin_as:
+            links = path_cache.get(asn)
+            if links is None:
+                chain = []
+                node = int(asn)
+                while node != 0:
+                    chain.append(node)  # link id == AS id for asn -> parent
+                    node = topo.parent[node]
+                chain.append(0)  # the target link
+                links = np.asarray(chain, dtype=np.int64)
+                path_cache[int(asn)] = links
+            flow_links.append(links)
 
     return InternetScenario(
         topology=topo,

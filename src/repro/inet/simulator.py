@@ -23,6 +23,23 @@ Three target-link strategies reproduce the paper's comparisons:
   flagging, Eq.-(IV.5)-equivalent preferential caps, conformance tracking
   and the *same* aggregation code (Algorithm 1 and Eq. IV.8) used by the
   packet-level router.
+
+Shard mode
+----------
+
+The simulator can run a *partition* of the flow population (one origin-AS
+shard of the path-identifier space, see :mod:`repro.inet.shard`) while
+remaining bit-identical to the serial run.  The trick is that **every
+cross-flow reduction goes through full-length per-AS vectors**: each
+shard bincounts its local flows per origin AS (all flows of an AS live in
+exactly one shard, in the same relative order as serially, so every
+per-AS partial sum is the bit-exact serial value), shards exchange the
+per-AS partials through a barrier exchange that rebuilds the full vector
+by *assignment* from the owning shard (never addition), and all global
+scalars are reduced from that identical full vector with identical numpy
+operations.  A serial simulator is simply the degenerate case where the
+local bincount already *is* the full vector and the exchange is a
+pass-through.
 """
 
 from __future__ import annotations
@@ -30,7 +47,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,8 +80,59 @@ class FluidResult:
         return self.shares["legit_in_legit"] + self.shares["legit_in_attack"]
 
 
+def result_from_matrix(
+    *,
+    strategy: str,
+    s_max: Optional[int],
+    n_groups: int,
+    matrix: np.ndarray,
+    measured_ticks: int,
+    target_capacity: float,
+    n_flows_by_cat: Dict[str, int],
+    series: List[Tuple[int, float, float, float]],
+) -> FluidResult:
+    """Assemble a :class:`FluidResult` from the canonical per-(category,
+    origin-AS) admitted-volume matrix.
+
+    Serial ``finish_run`` and the shard merge (:func:`repro.inet.shard.
+    merge_shard_results`) both build their result through this one
+    function, from bit-identical matrices — which is what makes a merged
+    shard run byte-identical to the serial run by construction.
+    """
+    budget = target_capacity * max(1, measured_ticks)
+    shares: Dict[str, float] = {}
+    per_flow_mean: Dict[str, float] = {}
+    n_flows: Dict[str, int] = {}
+    for idx, name in enumerate(CATEGORY_NAMES):
+        total = float(np.sum(matrix[idx]))
+        shares[name] = total / budget
+        count = int(n_flows_by_cat[name])
+        n_flows[name] = count
+        per_flow_mean[name] = (
+            total / (count * max(1, measured_ticks)) if count else 0.0
+        )
+    return FluidResult(
+        strategy=strategy,
+        s_max=s_max,
+        shares=shares,
+        utilization=float(np.sum(matrix)) / budget,
+        per_flow_mean=per_flow_mean,
+        n_flows=n_flows,
+        n_groups=n_groups,
+        series=list(series),
+    )
+
+
 class FluidSimulator:
-    """Runs one scenario under one target-link strategy."""
+    """Runs one scenario under one target-link strategy.
+
+    With ``shard`` set (a :class:`repro.inet.shard.ShardSpec`), the
+    simulator keeps only the flows whose origin AS the shard owns, and
+    every cross-flow reduction goes through the attached barrier
+    exchange (see the module docstring).  Global, deterministic state —
+    per-AS flow counts, the path-id map, conformance, the aggregation
+    plan — is replicated identically on every shard.
+    """
 
     def __init__(
         self,
@@ -74,6 +142,7 @@ class FluidSimulator:
         attack_flag_factor: float = 1.5,
         aggregation_interval: int = 50,
         seed: int = 11,
+        shard: Optional[Any] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; choose {STRATEGIES}")
@@ -95,10 +164,33 @@ class FluidSimulator:
         self.telemetry: NullTelemetry = current()
 
         scn = scenario
-        self.n_flows = scn.n_flows
-        self.origin = scn.flow_origin_as
-        self.is_attack = scn.flow_is_attack
-        self.cats = scn.categories()
+        n_as = scn.topology.n_as
+        origin_all = scn.flow_origin_as
+        cats_all = scn.categories()
+        # global (scenario-wide) statistics, identical on every shard:
+        # group plans, conformance totals, fair shares, and result
+        # denominators must never depend on which flows are local
+        self.n_flows_total = scn.n_flows
+        self._counts_by_as = np.bincount(origin_all, minlength=n_as)
+        self._n_flows_by_cat = {
+            name: int(np.count_nonzero(cats_all == idx))
+            for idx, name in enumerate(CATEGORY_NAMES)
+        }
+        self.pid_of_as = {
+            asn: scn.topology.path_of(asn) for asn in set(origin_all.tolist())
+        }
+        self._shard = shard
+        self._exchange: Optional[Any] = None
+        if shard is None:
+            self.origin = origin_all
+            self.is_attack = scn.flow_is_attack
+            self.cats = cats_all
+        else:
+            keep = shard.shard_of_as[origin_all] == shard.shard
+            self.origin = origin_all[keep]
+            self.is_attack = scn.flow_is_attack[keep]
+            self.cats = cats_all[keep]
+        self.n_flows = int(self.origin.shape[0])
         # RTT: two ticks per AS hop plus destination handling
         depth = np.asarray(scn.topology.depth, dtype=np.float64)
         self.rtt = 2.0 * (depth[self.origin] + 2.0)
@@ -108,14 +200,10 @@ class FluidSimulator:
         self.parent = np.asarray(scn.topology.parent, dtype=np.int64)
         order = np.argsort(-depth)  # deepest first: children before parents
         self.as_order = order
-        # per-flow group assignment: start with identity (one group per
-        # origin-AS path)
-        self.pid_of_as = {
-            asn: scn.topology.path_of(asn) for asn in set(self.origin.tolist())
-        }
         self.conformance = ConformanceTracker(beta=0.2)
         self._plan = None
         self._group_index: Optional[np.ndarray] = None
+        self._group_of_as: Optional[np.ndarray] = None
         self._group_shares: Optional[np.ndarray] = None
         self._flagged = np.zeros(self.n_flows, dtype=bool)
         # smoothed send rate: the fluid analogue of the MTD measurement
@@ -124,6 +212,55 @@ class FluidSimulator:
         # signal)
         self._rate_ewma = np.zeros(self.n_flows, dtype=np.float64)
         self.n_groups = 0
+
+    # ------------------------------------------------------------------
+    # shard support
+    # ------------------------------------------------------------------
+    def attach_exchange(self, exchange: Any) -> None:
+        """Attach the barrier exchange a shard-mode simulator reduces
+        through.  Must be (re)called after every checkpoint load — the
+        exchange is deliberately dropped from pickled state."""
+        if self._shard is None:
+            raise ConfigError(
+                "attach_exchange() on a non-sharded simulator; pass a "
+                "ShardSpec to the constructor first"
+            )
+        self._exchange = exchange
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # the exchange may hold an injected poll hook (a bound watchdog
+        # method); checkpoints must never carry it, and a fresh exchange
+        # is attached after load anyway (see ShardUnitTask.run)
+        state = dict(self.__dict__)
+        state["_exchange"] = None
+        return state
+
+    def _allreduce(
+        self,
+        tick: int,
+        round_key: str,
+        vectors: Dict[str, np.ndarray],
+        counts: Optional[Dict[str, int]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, int]]:
+        """Resolve per-AS partial vectors into full (global) vectors.
+
+        Serial runs pass through untouched: a lone simulator's bincounts
+        over all flows *are* the global vectors.  Shard-mode simulators
+        delegate to the attached exchange, which assembles each full
+        vector column-by-column from the owning shard — by assignment,
+        never addition, so the result is bit-identical to serial.
+        Integer ``counts`` are summed across shards (exact in any order).
+        """
+        if self._shard is None:
+            return vectors, dict(counts or {})
+        if self._exchange is None:
+            raise ConfigError(
+                "shard-mode FluidSimulator has no exchange attached; "
+                "call attach_exchange() before stepping"
+            )
+        return self._exchange.allreduce(
+            tick, round_key, vectors, dict(counts or {})
+        )
 
     # ------------------------------------------------------------------
     # fault support (used by repro.faults injectors)
@@ -158,6 +295,7 @@ class FluidSimulator:
         self.conformance = ConformanceTracker(beta=0.2)
         self._plan = None
         self._group_index = None
+        self._group_of_as = None
         self._group_shares = None
         self._flagged[:] = False
         self._rate_ewma[:] = 0.0
@@ -173,13 +311,22 @@ class FluidSimulator:
         )
         return rates
 
-    def _upstream_survival(self, rates: np.ndarray) -> np.ndarray:
+    def _loads_by_as(self, rates: np.ndarray) -> np.ndarray:
+        """Per-origin-AS source load, reduced over *local* flows.
+
+        ``np.bincount`` accumulates in input order, and a shard holds
+        every flow of its owned ASes in serial relative order, so each
+        owned entry is the bit-exact serial partial sum.
+        """
+        return np.bincount(
+            self.origin, weights=rates, minlength=self.scn.topology.n_as
+        )
+
+    def _survival_from_loads(self, own: np.ndarray) -> np.ndarray:
         """Per-AS survival fraction from origin to (not including) the
-        target link, plus the per-link pass fractions."""
+        target link, given the *full* per-AS source-load vector."""
         scn = self.scn
         n_as = scn.topology.n_as
-        own = np.zeros(n_as, dtype=np.float64)
-        np.add.at(own, self.origin, rates)
         admitted = np.zeros(n_as, dtype=np.float64)
         passfrac = np.ones(n_as, dtype=np.float64)
         inflow = own.copy()
@@ -202,39 +349,82 @@ class FluidSimulator:
             surv[asn] = surv[self.parent[asn]] * passfrac[asn]
         return surv
 
+    def _upstream_survival(self, rates: np.ndarray) -> np.ndarray:
+        """Serial convenience wrapper: reduce local rates per AS and
+        propagate.  Shard-mode ``step_run`` exchanges the load vector
+        through the barrier before calling ``_survival_from_loads``."""
+        return self._survival_from_loads(self._loads_by_as(rates))
+
     # -- target-link strategies ------------------------------------------
-    def _admit_nd(self, arrivals: np.ndarray) -> np.ndarray:
-        total = arrivals.sum()
+    def _admit_nd(
+        self, arrivals: np.ndarray, arr_by_as: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Uniform random-drop admission.
+
+        The arrival total is always reduced from the canonical per-AS
+        vector — never from the local flow array — so every shard
+        computes the bit-identical global scalar.  Direct callers (tests,
+        warm-up) may omit ``arr_by_as`` and get the local reduction.
+        """
+        if arr_by_as is None:
+            arr_by_as = np.bincount(
+                self.origin, weights=arrivals, minlength=self.scn.topology.n_as
+            )
+        total = float(np.sum(arr_by_as))
         cap = self.scn.target_capacity
         if total <= cap:
+            self._admitted_total = total
             return arrivals
-        return arrivals * (cap / total)
+        factor = cap / total
+        self._admitted_total = total * factor
+        return arrivals * factor
 
-    def _admit_ff(self, arrivals: np.ndarray) -> np.ndarray:
+    def _admit_ff(self, arrivals: np.ndarray, tick: int = 0) -> np.ndarray:
         """Section VII-C, verbatim: one high-priority pool holds all
         legitimate packets plus attack packets up to their fair bandwidth;
         normal-priority (excess attack) packets are serviced only from
-        whatever capacity the pool leaves idle."""
+        whatever capacity the pool leaves idle.  Pool totals are reduced
+        per origin AS and exchanged so every shard sees the global pools.
+        """
         cap = self.scn.target_capacity
-        fair = cap / max(1, self.n_flows)
+        fair = cap / max(1, self.n_flows_total)
         legit = ~self.is_attack
         hp = np.where(legit, arrivals, np.minimum(arrivals, fair))
-        hp_total = hp.sum()
+        lp = np.where(self.is_attack, arrivals - hp, 0.0)
+        n_as = self.scn.topology.n_as
+        vectors, _ = self._allreduce(
+            tick,
+            "admit",
+            {
+                "hp": np.bincount(self.origin, weights=hp, minlength=n_as),
+                "lp": np.bincount(self.origin, weights=lp, minlength=n_as),
+            },
+        )
+        hp_total = float(np.sum(vectors["hp"]))
         if hp_total >= cap:
+            self._admitted_total = hp_total * (cap / hp_total)
             return hp * (cap / hp_total)
         admitted = hp.copy()
         remaining = cap - hp_total
-        lp = np.where(self.is_attack, arrivals - hp, 0.0)
-        lp_total = lp.sum()
+        lp_total = float(np.sum(vectors["lp"]))
+        granted = 0.0
         if lp_total > 0:
-            admitted += lp * min(1.0, remaining / lp_total)
+            factor = min(1.0, remaining / lp_total)
+            admitted += lp * factor
+            granted = lp_total * factor
+        self._admitted_total = hp_total + granted
         return admitted
 
     def _rebuild_groups(self) -> None:
-        """Run conformance partition + aggregation, rebuild group arrays."""
+        """Run conformance partition + aggregation, rebuild group arrays.
+
+        Every input is replicated global state (the path-id map, the
+        static per-AS flow counts, the conformance tracker fed from
+        exchanged flag counts), so all shards rebuild the identical plan.
+        """
         ases = sorted(self.pid_of_as)
         pids = [self.pid_of_as[a] for a in ases]
-        counts_by_as = np.bincount(self.origin, minlength=self.scn.topology.n_as)
+        counts_by_as = self._counts_by_as
         flow_counts = {
             self.pid_of_as[asn]: int(counts_by_as[asn]) for asn in ases
         }
@@ -256,22 +446,34 @@ class FluidSimulator:
                 group_keys[key] = len(shares)
                 shares.append(self._plan.shares.get(key, 1.0))
             group_of_as[asn] = group_keys[key]
+        self._group_of_as = group_of_as
         self._group_index = group_of_as[self.origin]
         self._group_shares = np.asarray(shares, dtype=np.float64)
         self.n_groups = len(shares)
 
-    def _admit_floc(self, arrivals: np.ndarray, tick: int) -> np.ndarray:
+    def _admit_floc(
+        self,
+        arrivals: np.ndarray,
+        tick: int,
+        arr_by_as: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n_as = self.scn.topology.n_as
+        if arr_by_as is None:
+            arr_by_as = np.bincount(
+                self.origin, weights=arrivals, minlength=n_as
+            )
         if self._warmup_until is not None:
             if tick >= self._warmup_until:
                 self._warmup_until = None
             else:
                 # post-restart warm-up: no per-path state to allocate by,
                 # so degrade to neutral admission while rates re-smooth
-                admitted = self._admit_nd(arrivals)
+                admitted = self._admit_nd(arrivals, arr_by_as)
                 tel = self.telemetry
                 if tel.enabled:
                     tel.record_fluid_drop_volumes(
-                        tick, neutral=float(arrivals.sum() - admitted.sum())
+                        tick,
+                        neutral=float(np.sum(arr_by_as)) - self._admitted_total,
                     )
                 return admitted
         cap = self.scn.target_capacity
@@ -290,12 +492,21 @@ class FluidSimulator:
                         previous_count=previous_groups,
                     )
         gidx = self._group_index
+        gidx_as = self._group_of_as
         shares = self._group_shares
         n_groups = self.n_groups
         alloc = cap * shares / shares.sum()
 
-        group_arrival = np.bincount(gidx, weights=arrivals, minlength=n_groups)
-        group_flows = np.bincount(gidx, minlength=n_groups).astype(np.float64)
+        # group demand/size from the canonical per-AS vectors (group
+        # membership is per origin AS, so AS-level bincounts are exact)
+        group_arrival = np.bincount(
+            gidx_as, weights=arr_by_as, minlength=n_groups
+        )
+        group_flows = np.bincount(
+            gidx_as,
+            weights=self._counts_by_as.astype(np.float64),
+            minlength=n_groups,
+        )
         fair = alloc / np.maximum(group_flows, 1.0)
 
         # MTD-equivalent flagging: a flow whose *smoothed* send rate stays
@@ -312,9 +523,45 @@ class FluidSimulator:
         bar = np.maximum(self.attack_flag_factor * fair[gidx], tcp_floor)
         previously_flagged = self._flagged
         self._flagged = (self._rate_ewma > bar) & oversub[gidx]
+        flagged = self._flagged
+        # Eq.-(IV.5) preferential cap: flagged flows get at most fair share
+        capped = np.where(flagged, np.minimum(arrivals, fair[gidx]), arrivals)
+
+        # exchange the flag-split arrival decomposition so the scale
+        # factors, the work-conservation pools, and the flag telemetry are
+        # computed from identical global values on every shard
+        vectors, xcounts = self._allreduce(
+            tick,
+            "admit",
+            {
+                "arr_unflagged": np.bincount(
+                    self.origin,
+                    weights=np.where(flagged, 0.0, arrivals),
+                    minlength=n_as,
+                ),
+                "arr_flagged": np.bincount(
+                    self.origin,
+                    weights=np.where(flagged, arrivals, 0.0),
+                    minlength=n_as,
+                ),
+                "capped_flagged": np.bincount(
+                    self.origin,
+                    weights=np.where(flagged, capped, 0.0),
+                    minlength=n_as,
+                ),
+            },
+            {
+                "newly": int(np.count_nonzero(flagged & ~previously_flagged)),
+                "cleared": int(np.count_nonzero(previously_flagged & ~flagged)),
+                "flagged": int(np.count_nonzero(flagged)),
+            },
+        )
+        arr_unflagged = vectors["arr_unflagged"]
+        arr_flagged = vectors["arr_flagged"]
+        capped_flagged = vectors["capped_flagged"]
         if tel.enabled:
-            newly = int(np.count_nonzero(self._flagged & ~previously_flagged))
-            cleared = int(np.count_nonzero(previously_flagged & ~self._flagged))
+            newly = xcounts["newly"]
+            cleared = xcounts["cleared"]
             if newly or cleared:
                 tel.registry.counter("fluid_flag_transitions_count").inc(
                     float(newly + cleared)
@@ -323,41 +570,53 @@ class FluidSimulator:
                     tel.emit_event(
                         tick, "fluid_flag", "mtd",
                         newly_flagged=newly, cleared=cleared,
-                        flagged_total=int(np.count_nonzero(self._flagged)),
+                        flagged_total=xcounts["flagged"],
                     )
-        # Eq.-(IV.5) preferential cap: flagged flows get at most fair share
-        capped = np.where(self._flagged, np.minimum(arrivals, fair[gidx]), arrivals)
 
-        group_demand = np.bincount(gidx, weights=capped, minlength=n_groups)
+        capped_by_as = arr_unflagged + capped_flagged
+        group_demand = np.bincount(
+            gidx_as, weights=capped_by_as, minlength=n_groups
+        )
         scale = np.minimum(1.0, alloc / np.maximum(group_demand, 1e-12))
+        scale_as = scale[gidx_as]
         admitted = capped * scale[gidx]
+        admitted_total = float(np.sum(capped_by_as * scale_as))
 
         # work conservation (congested-mode random drop admits without
         # tokens): leftover capacity goes to *unflagged* flows' unmet
         # demand first — flagged flows are still preferentially dropped —
-        # and only then to flagged flows.
-        leftover = cap - admitted.sum()
+        # and only then to flagged flows.  The pool totals decompose per
+        # AS (unmet = arrivals - capped*scale), so they reduce from the
+        # exchanged vectors and every shard grants the same fractions.
+        pool_unflagged = float(np.sum(arr_unflagged - arr_unflagged * scale_as))
+        pool_flagged = float(np.sum(arr_flagged - capped_flagged * scale_as))
+        grant_unflagged = 0.0
+        grant_flagged = 0.0
+        leftover = cap - admitted_total
         if leftover > 1e-9:
+            if pool_unflagged > 1e-9:
+                grant_unflagged = min(1.0, leftover / pool_unflagged)
+                leftover -= pool_unflagged * grant_unflagged
+            if leftover > 1e-9 and pool_flagged > 1e-9:
+                grant_flagged = min(1.0, leftover / pool_flagged)
             unmet = arrivals - admitted
-            for mask in (~self._flagged, self._flagged):
-                pool = np.where(mask, unmet, 0.0)
-                pool_total = pool.sum()
-                if pool_total > 1e-9:
-                    grant = pool * min(1.0, leftover / pool_total)
-                    admitted = admitted + grant
-                    leftover -= grant.sum()
-                if leftover <= 1e-9:
-                    break
+            admitted = admitted + np.where(
+                flagged, unmet * grant_flagged, unmet * grant_unflagged
+            )
+        self._admitted_total = (
+            admitted_total
+            + pool_unflagged * grant_unflagged
+            + pool_flagged * grant_flagged
+        )
         if tel.enabled:
             # drop provenance, fluid analogue: a flagged flow's unmet
             # demand is the Eq.-(IV.5) preferential cap; an unflagged
             # flow's is the group allocation limit (the token-bucket
             # stage of the packet engine)
-            deficit = np.maximum(arrivals - admitted, 0.0)
             tel.record_fluid_drop_volumes(
                 tick,
-                preferential=float(deficit[self._flagged].sum()),
-                token=float(deficit[~self._flagged].sum()),
+                preferential=pool_flagged * (1.0 - grant_flagged),
+                token=pool_unflagged * (1.0 - grant_unflagged),
             )
         return admitted
 
@@ -384,13 +643,13 @@ class FluidSimulator:
         self._series: List[Tuple[int, float, float, float]] = []
         self._conf_interval = max(10, self.aggregation_interval // 2)
         self._last_admitted: Optional[np.ndarray] = None
+        self._admitted_total = 0.0
 
     def step_run(self) -> bool:
         """Advance one tick; returns ``False`` once the run is complete."""
         if self._run_tick >= self._run_ticks:
             return False
         tick = self._run_tick
-        cap = self.scn.target_capacity
         tel = self.telemetry
         prof = tel.profiler if tel.profile_enabled else None
         clock = prof.start() if prof is not None else 0.0
@@ -405,23 +664,26 @@ class FluidSimulator:
         self._rate_ewma += 0.1 * (rates - self._rate_ewma)
         if prof is not None:
             clock = prof.lap("sources", clock)
-        surv = self._upstream_survival(rates)
+        vectors, _ = self._allreduce(tick, "load", {"own": self._loads_by_as(rates)})
+        own = vectors["own"]
+        surv = self._survival_from_loads(own)
         arrivals = rates * surv[self.origin]
+        arr_by_as = own * surv
         if prof is not None:
             clock = prof.lap("queueing", clock)
         if self.strategy == "nd":
-            admitted = self._admit_nd(arrivals)
+            admitted = self._admit_nd(arrivals, arr_by_as)
         elif self.strategy == "ff":
-            admitted = self._admit_ff(arrivals)
+            admitted = self._admit_ff(arrivals, tick)
         else:
-            admitted = self._admit_floc(arrivals, tick)
+            admitted = self._admit_floc(arrivals, tick, arr_by_as)
             if tick % self._conf_interval == 0:
-                self._update_conformance()
+                self._update_conformance(tick)
         if prof is not None:
             clock = prof.lap("policy", clock)
         if tel.enabled and tick % tel.sample_interval_ticks == 0:
             tel.registry.series("fluid_admitted_pkts_per_tick").sample(
-                tick, float(admitted.sum())
+                tick, self._admitted_total
             )
         # TCP fluid update for legitimate flows
         p_drop = 1.0 - np.divide(
@@ -438,49 +700,65 @@ class FluidSimulator:
             self._acc += admitted
             self._measured_ticks += 1
             if self._run_record_series:
-                self._series.append(
-                    (
-                        tick,
-                        float(admitted[self.cats == 0].sum() / cap),
-                        float(admitted[self.cats == 1].sum() / cap),
-                        float(admitted[self.cats == 2].sum() / cap),
-                    )
-                )
+                self._series.append(self._series_point(tick, admitted))
         if prof is not None:
             prof.lap("tcp", clock)
             prof.tick_done()
         self._run_tick = tick + 1
         return self._run_tick < self._run_ticks
 
+    def _series_point(
+        self, tick: int, admitted: np.ndarray
+    ) -> Tuple[int, float, float, float]:
+        """One canonical series sample: per-category admitted volume at
+        the target, reduced through the per-AS vectors so every shard
+        records the identical point."""
+        n_as = self.scn.topology.n_as
+        parts = {
+            name: np.bincount(
+                self.origin,
+                weights=np.where(self.cats == idx, admitted, 0.0),
+                minlength=n_as,
+            )
+            for idx, name in enumerate(CATEGORY_NAMES)
+        }
+        vectors, _ = self._allreduce(tick, "series", parts)
+        cap = self.scn.target_capacity
+        return (
+            tick,
+            float(np.sum(vectors["legit_in_legit"]) / cap),
+            float(np.sum(vectors["legit_in_attack"]) / cap),
+            float(np.sum(vectors["attack"]) / cap),
+        )
+
+    def acc_matrix(self) -> np.ndarray:
+        """Per-(category, origin-AS) admitted volume over the measured
+        window.  In shard mode only the owned columns are populated; the
+        shard merge reassembles the full matrix by assignment."""
+        n_as = self.scn.topology.n_as
+        rows = [
+            np.bincount(
+                self.origin,
+                weights=np.where(self.cats == idx, self._acc, 0.0),
+                minlength=n_as,
+            )
+            for idx in range(len(CATEGORY_NAMES))
+        ]
+        return np.stack(rows)
+
     def finish_run(self) -> FluidResult:
         """Assemble the :class:`FluidResult` for a completed (or salvaged
         partial) run."""
         if self.telemetry.enabled:
             self.telemetry.scrape_fluid(self)
-        cap = self.scn.target_capacity
-        acc = self._acc
-        measured_ticks = self._measured_ticks
-        budget = cap * max(1, measured_ticks)
-        shares = {}
-        per_flow_mean = {}
-        n_flows = {}
-        for idx, name in enumerate(CATEGORY_NAMES):
-            mask = self.cats == idx
-            total = float(acc[mask].sum())
-            shares[name] = total / budget
-            count = int(mask.sum())
-            n_flows[name] = count
-            per_flow_mean[name] = (
-                total / (count * max(1, measured_ticks)) if count else 0.0
-            )
-        return FluidResult(
+        return result_from_matrix(
             strategy=self.strategy,
             s_max=self.s_max,
-            shares=shares,
-            utilization=float(acc.sum()) / budget,
-            per_flow_mean=per_flow_mean,
-            n_flows=n_flows,
             n_groups=self.n_groups,
+            matrix=self.acc_matrix(),
+            measured_ticks=self._measured_ticks,
+            target_capacity=self.scn.target_capacity,
+            n_flows_by_cat=self._n_flows_by_cat,
             series=self._series,
         )
 
@@ -496,12 +774,19 @@ class FluidSimulator:
             pass
         return self.finish_run()
 
-    def _update_conformance(self) -> None:
-        """Fold the current flagging into per-path conformance."""
+    def _update_conformance(self, tick: int = 0) -> None:
+        """Fold the current flagging into per-path conformance.
+
+        Flag counts are reduced per origin AS and exchanged; totals come
+        from the static global per-AS flow counts — so every shard feeds
+        its (replicated) conformance tracker the identical observations.
+        """
         n_as = self.scn.topology.n_as
-        totals = np.bincount(self.origin, minlength=n_as)
-        flagged = np.bincount(
+        flagged_local = np.bincount(
             self.origin, weights=self._flagged.astype(np.float64), minlength=n_as
         )
+        vectors, _ = self._allreduce(tick, "conf", {"flagged": flagged_local})
+        flagged = vectors["flagged"]
+        totals = self._counts_by_as
         for asn, pid in self.pid_of_as.items():
             self.conformance.update(pid, int(totals[asn]), int(flagged[asn]))

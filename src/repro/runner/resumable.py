@@ -120,16 +120,21 @@ def run_checkpointed(
     checkpoint_interval: int = 200,
     shutdown: Optional[GracefulShutdown] = None,
     watchdog: Optional[Watchdog] = None,
+    prepare: Optional[Callable[[Any], None]] = None,
 ) -> Any:
     """Run (or resume) one tick-level simulation to completion.
 
     ``build()`` constructs a fresh :class:`EngineRun`/:class:`FluidRun`;
     if the store holds a ``state`` snapshot under ``name`` it is loaded
-    instead and the build is skipped entirely.  Between segments the
-    current state is snapshotted; on a shutdown request the final
-    snapshot is written and :class:`~repro.errors.Interrupted` raised.
-    On completion the state entry is deleted (the caller checkpoints the
-    finalized result at unit granularity) and ``finalize(run)`` returned.
+    instead and the build is skipped entirely.  ``prepare(run)``, when
+    given, runs after either path — its job is re-attaching live objects
+    that deliberately do not ride through pickle (e.g. a shard
+    simulator's barrier exchange with its watchdog poll hook).  Between
+    segments the current state is snapshotted; on a shutdown request the
+    final snapshot is written and :class:`~repro.errors.Interrupted`
+    raised.  On completion the state entry is deleted (the caller
+    checkpoints the finalized result at unit granularity) and
+    ``finalize(run)`` returned.
     """
     if checkpoint_interval < 1:
         raise ValueError(
@@ -141,6 +146,8 @@ def run_checkpointed(
         _readopt_telemetry(run)
     if run is None:
         run = build()
+    if prepare is not None:
+        prepare(run)
     while not run.done:
         if watchdog is not None:
             watchdog.check()
