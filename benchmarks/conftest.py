@@ -67,7 +67,7 @@ _figure_seconds: Dict[str, float] = {}
 def pytest_runtest_call(item):
     start = time.perf_counter()
     yield
-    _figure_seconds[item.nodeid] = time.perf_counter() - start
+    _figure_seconds[item.nodeid] = time.perf_counter() - start  # flocheck: disable=FLC007 -- pytest timing hook runs in the host process only; nothing ships it to a spawn worker
 
 
 def _profiled_smoke() -> Dict[str, object]:

@@ -30,19 +30,52 @@ Rule families
     Config drift: fields of ``FLocConfig``/``FunctionalSettings``
     cross-checked against the CLI flags in ``repro.cli`` and the
     configuration tables in ``docs/architecture.md``.
+``FLC007``
+    Spawn safety (lexical): module-global mutation inside functions of
+    the multiprocess packages (``repro.fleet``, ``repro.runner``), where
+    spawn workers silently diverge from the parent.
+``FLC008``
+    Barrier protocol: collect-before-publish ordering, epoch/tick
+    counters that go backwards, raw (non-atomic) writes inside barrier
+    classes, swallowed ``ShardBarrierTimeout``, unbounded barrier polls.
+``FLC009``
+    Cross-process write atomicity and *interprocedural* spawn safety:
+    bare ``open(..., "w")`` without ``os.replace`` in modules other
+    processes read concurrently, and global mutation in any function
+    reachable from a spawn entrypoint through the call graph — beyond
+    FLC007's lexical scope.
+``FLC010``
+    NumPy aliasing: array views (slices, ``reshape``/``ravel``/... )
+    flowing into persisted state (checkpoint payloads, ``ShardResult``,
+    pickles), and in-place mutation of a buffer after it was published.
+``FLC011``
+    Digest purity (interprocedural taint): wall-clock, pid, env,
+    entropy, hostname, fs-enumeration-order, or RNG values reaching a
+    ``hashlib`` digest or persisted payload, traced across function
+    boundaries via summaries.
+``FLC099``
+    Suppression hygiene (engine pseudo-rule): a ``disable=`` comment
+    without a trailing reason — such comments are inert.
 
 Suppression and baselines
 -------------------------
-A finding on a line carrying ``# flocheck: disable=FLC001`` (comma lists
-and ``disable=all`` work too) is suppressed at the source.  Findings that
-predate the checker are *grandfathered* in a baseline file
-(``baseline.json`` next to this package): they do not fail the build, but
-a baseline entry that no longer matches any finding is itself an error
-under ``--strict`` — the baseline can only shrink, never drift.
+A finding on a line carrying ``# flocheck: disable=FLC001 -- <reason>``
+(comma lists and ``disable=all`` work too) is suppressed at the source.
+The trailing ``-- <reason>`` is mandatory: a reasonless comment does not
+suppress anything and is itself flagged as ``FLC099``.  Every
+suppression in the tree is auditable via ``repro check
+--show-suppressed``.  Findings that predate the checker are
+*grandfathered* in a baseline file (``baseline.json`` next to this
+package): they do not fail the build, but a baseline entry that no
+longer matches any finding is itself an error under ``--strict`` — the
+baseline can only shrink, never drift.
 
 Entry points
 ------------
-``python -m repro check [--strict]`` from the CLI, or programmatically::
+``python -m repro check [--strict]`` from the CLI — with ``--sarif OUT``
+for a SARIF 2.1.0 export, ``--graph`` to dump the call-graph summary,
+``--include-tests`` to widen the sweep over ``tests/`` and
+``benchmarks/`` with a relaxed rule subset — or programmatically::
 
     from repro.check import Checker
     report = Checker.for_package().run()
@@ -54,6 +87,7 @@ from .baseline import Baseline, BaselineEntry
 from .diagnostics import Diagnostic, Severity
 from .engine import Checker, CheckReport, SourceModule
 from .rules import Rule, all_rules, get_rule, rule_catalog
+from .sarif import report_to_sarif, write_sarif
 
 __all__ = [
     "Baseline",
@@ -66,5 +100,7 @@ __all__ = [
     "SourceModule",
     "all_rules",
     "get_rule",
+    "report_to_sarif",
     "rule_catalog",
+    "write_sarif",
 ]

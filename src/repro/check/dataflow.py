@@ -1,0 +1,496 @@
+"""Lightweight forward taint/dataflow over one function body.
+
+The interprocedural rules (FLC010 aliasing, FLC011 digest purity) need
+to answer one question shape: *does a value produced here ever flow into
+that sink?*  This module provides the shared machinery: a flow-sensitive
+single-function pass that seeds taint at configured source expressions,
+propagates it through assignments, containers, arithmetic, f-strings,
+and unknown calls, erases it at configured sanitizers, and records every
+call where a tainted expression reaches a configured sink argument.
+
+The model is deliberately small and predictable:
+
+* **Variables** are plain names and dotted attribute chains
+  (``payload``, ``self._acc``, ``run.sim``).  Indexed locations
+  (``d[k]``) taint the whole container.
+* **Loops** are handled by running the statement pass twice — enough
+  for taint to travel around one back edge, which covers every pattern
+  in this codebase (accumulate-in-loop, publish-in-loop).
+* **Unknown calls propagate**: ``json.dumps(payload)`` is tainted when
+  ``payload`` is, because serialisation does not launder a wall-clock
+  read.  Only explicit sanitizers (``.copy()`` for views, for instance)
+  erase taint.
+* **Summaries** make the pass interprocedural: analysing a function
+  with its parameters seeded yields which parameters reach a sink
+  (``param_sinks``), and whether its return value is tainted from
+  in-body sources (``returns_tainted``).  The driving rule runs a
+  fixpoint over the call graph with those summaries
+  (:func:`fixpoint_summaries`).
+
+Blind spots, by design (see ``docs/architecture.md``): taint through
+object attributes *across* functions, ``global`` variables, container
+element granularity, and exception payloads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .astutil import dotted_name, resolve_call_name
+
+__all__ = [
+    "FunctionSummary",
+    "SinkHit",
+    "SinkSpec",
+    "TaintPolicy",
+    "analyze_function",
+    "fixpoint_summaries",
+]
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One origin of impurity: what kind, and where it entered."""
+
+    kind: str  # "wall-clock" | "pid" | "env" | "fs-order" | "view" | "param:N"
+    detail: str  # human text, e.g. "time.time()"
+    line: int
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A tainted expression reaching a sink argument."""
+
+    sink: str  # label from the SinkSpec, e.g. "sha256 digest"
+    line: int
+    col: int
+    taint: Taint
+
+
+@dataclass
+class SinkSpec:
+    """One sink: match a call, name the arguments that must be pure.
+
+    ``match`` receives ``(call, resolved_name, terminal)`` and returns a
+    label when the call is a sink, else None.  ``args`` selects which
+    argument expressions are checked: a list of positional indices, or
+    ``"all"``.  Keyword arguments are always checked when ``args`` is
+    ``"all"``; otherwise only the names listed in ``kwargs`` are.
+    """
+
+    match: Callable[[ast.Call, Optional[str], Optional[str]], Optional[str]]
+    args: object = "all"  # "all" | Sequence[int]
+    kwargs: Sequence[str] = ()
+
+    def argument_exprs(self, call: ast.Call) -> List[ast.AST]:
+        if self.args == "all":
+            exprs: List[ast.AST] = list(call.args)
+            exprs.extend(kw.value for kw in call.keywords)
+            return exprs
+        selected = []
+        for index in self.args:  # type: ignore[union-attr]
+            if isinstance(index, int) and index < len(call.args):
+                selected.append(call.args[index])
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in self.kwargs:
+                selected.append(kw.value)
+        return selected
+
+
+@dataclass
+class TaintPolicy:
+    """What taints, what cleans, and what consumes.
+
+    * ``sources``: resolved dotted call name -> taint kind (a call to a
+      matching name seeds taint).
+    * ``source_prefixes``: like ``sources`` but matched by prefix
+      (``os.environ.`` covers ``os.environ.get``).
+    * ``sanitizers``: terminal method/function names whose *result* is
+      clean regardless of argument taint (``copy`` for array views).
+    * ``sinks``: where taint must not arrive.
+    * ``tainted_calls``: extra resolved names treated as sources — the
+      fixpoint driver injects functions whose return is known tainted.
+    * ``view_subscripts``: when True, a ``Slice``-subscript of a name
+      yields ``view`` taint on the *base* variable's value (numpy alias
+      semantics; used by FLC010).
+    * ``calls_propagate``: when False, an unknown call *launders* its
+      arguments' taint.  Wrong for purity taint (``json.dumps(t)`` stays
+      impure) but right for view taint, where almost every library call
+      (``np.sum``, ``np.where``) returns fresh memory and only the
+      enumerated view producers alias.
+    """
+
+    sources: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    source_prefixes: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: terminal method name -> taint; matches any receiver
+    #: (``x.reshape(...)`` taints regardless of what ``x`` is)
+    source_terminals: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    sanitizers: Set[str] = field(default_factory=set)
+    sinks: List[SinkSpec] = field(default_factory=list)
+    tainted_calls: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    view_subscripts: bool = False
+    calls_propagate: bool = True
+
+    def source_taint(self, name: Optional[str], line: int) -> Optional[Taint]:
+        if name is None:
+            return None
+        hit = self.sources.get(name) or self.tainted_calls.get(name)
+        if hit is None:
+            for prefix, candidate in self.source_prefixes.items():
+                if name.startswith(prefix):
+                    hit = candidate
+                    break
+        if hit is None:
+            return None
+        kind, detail = hit
+        return Taint(kind=kind, detail=detail or f"{name}()", line=line)
+
+
+@dataclass
+class FunctionSummary:
+    """What one pass over a function established."""
+
+    hits: List[SinkHit] = field(default_factory=list)
+    returns_tainted: Set[Taint] = field(default_factory=set)
+    #: parameter name -> sink labels its value reaches
+    param_sinks: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def _target_key(node: ast.AST) -> Optional[str]:
+    """Stable key for an assignable location (name or attribute chain)."""
+    if isinstance(node, ast.Subscript):
+        # d[k] = v taints the container as a whole
+        return _target_key(node.value)
+    return dotted_name(node)
+
+
+class _Tracker:
+    def __init__(
+        self,
+        policy: TaintPolicy,
+        aliases: Dict[str, str],
+        seed_params: bool,
+        fn: ast.AST,
+    ) -> None:
+        self.policy = policy
+        self.aliases = aliases
+        self.state: Dict[str, Set[Taint]] = {}
+        self.summary = FunctionSummary()
+        self._param_names: Set[str] = set()
+        if seed_params:
+            args = fn.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            ):
+                if arg.arg in ("self", "cls"):
+                    continue
+                self._param_names.add(arg.arg)
+                self.state[arg.arg] = {
+                    Taint(kind=f"param:{arg.arg}", detail=arg.arg, line=fn.lineno)
+                }
+
+    # -- expression taint ----------------------------------------------
+    def taints_of(self, node: Optional[ast.AST]) -> Set[Taint]:
+        if node is None:
+            return set()
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            key = dotted_name(node)
+            if key is None:
+                return self.taints_of(getattr(node, "value", None))
+            # exact key, then container prefix (x tainted => x.attr is)
+            found = set(self.state.get(key, ()))
+            head = key.split(".", 1)[0]
+            if head != key:
+                found |= self.state.get(head, set())
+            return found
+        if isinstance(node, ast.Call):
+            return self._call_taints(node)
+        if isinstance(node, ast.Subscript):
+            base = self.taints_of(node.value)
+            if self.policy.view_subscripts and _has_slice(node):
+                key = _target_key(node.value)
+                base = set(base)
+                base.add(
+                    Taint(
+                        kind="view",
+                        detail=f"slice of {key or 'array'}",
+                        line=node.lineno,
+                    )
+                )
+            return base | self.taints_of(node.slice)
+        if isinstance(node, ast.BinOp):
+            return self.taints_of(node.left) | self.taints_of(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.taints_of(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[Taint] = set()
+            for value in node.values:
+                out |= self.taints_of(value)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.taints_of(node.left)
+            for comp in node.comparators:
+                out |= self.taints_of(comp)
+            return out
+        if isinstance(node, ast.IfExp):
+            return (
+                self.taints_of(node.body)
+                | self.taints_of(node.orelse)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self.taints_of(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                out |= self.taints_of(key)
+            for value in node.values:
+                out |= self.taints_of(value)
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                out |= self.taints_of(value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.taints_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.taints_of(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = self.taints_of(node.elt)
+            for gen in node.generators:
+                out |= self.taints_of(gen.iter)
+            return out
+        if isinstance(node, ast.DictComp):
+            out = self.taints_of(node.key) | self.taints_of(node.value)
+            for gen in node.generators:
+                out |= self.taints_of(gen.iter)
+            return out
+        if isinstance(node, ast.Await):
+            return self.taints_of(node.value)
+        return set()
+
+    def _call_taints(self, call: ast.Call) -> Set[Taint]:
+        resolved = resolve_call_name(call.func, self.aliases)
+        source = self.policy.source_taint(resolved, call.lineno)
+        if source is not None:
+            return {source}
+        terminal = resolved.rsplit(".", 1)[-1] if resolved else None
+        if terminal is None and isinstance(call.func, ast.Attribute):
+            terminal = call.func.attr
+        if terminal is not None and terminal in self.policy.source_terminals:
+            kind, detail = self.policy.source_terminals[terminal]
+            return {
+                Taint(
+                    kind=kind,
+                    detail=detail or f".{terminal}()",
+                    line=call.lineno,
+                )
+            }
+        if terminal in self.policy.sanitizers:
+            return set()
+        if not self.policy.calls_propagate:
+            return set()
+        # unknown call: taint flows through arguments and receiver
+        out: Set[Taint] = set()
+        for arg in call.args:
+            out |= self.taints_of(arg)
+        for kw in call.keywords:
+            out |= self.taints_of(kw.value)
+        if isinstance(call.func, ast.Attribute):
+            out |= self.taints_of(call.func.value)
+        return out
+
+    # -- statements ----------------------------------------------------
+    def run(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        for call in _calls_in_statement(stmt):
+            self._check_sinks(call)
+        if isinstance(stmt, ast.Assign):
+            taints = self.taints_of(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self.taints_of(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            extra = self.taints_of(stmt.value)
+            key = _target_key(stmt.target)
+            if key is not None and extra:
+                self.state[key] = self.state.get(key, set()) | extra
+        elif isinstance(stmt, ast.Return):
+            for taint in self.taints_of(stmt.value):
+                if not taint.kind.startswith("param:"):
+                    self.summary.returns_tainted.add(taint)
+        elif isinstance(stmt, (ast.If,)):
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._assign(stmt.target, self.taints_of(stmt.iter))
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._assign(
+                        item.optional_vars, self.taints_of(item.context_expr)
+                    )
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+
+    def _assign(self, target: ast.AST, taints: Set[Taint]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints)
+            return
+        key = _target_key(target)
+        if key is None:
+            return
+        if taints:
+            self.state[key] = set(taints)
+        else:
+            self.state.pop(key, None)
+
+    def _check_sinks(self, call: ast.Call) -> None:
+        resolved = resolve_call_name(call.func, self.aliases)
+        terminal = None
+        if resolved is not None:
+            terminal = resolved.rsplit(".", 1)[-1]
+        elif isinstance(call.func, ast.Attribute):
+            terminal = call.func.attr
+        for spec in self.policy.sinks:
+            label = spec.match(call, resolved, terminal)
+            if label is None:
+                continue
+            for expr in spec.argument_exprs(call):
+                for taint in self.taints_of(expr):
+                    if taint.kind.startswith("param:"):
+                        param = taint.kind.split(":", 1)[1]
+                        self.summary.param_sinks.setdefault(param, set()).add(
+                            label
+                        )
+                    else:
+                        self.summary.hits.append(
+                            SinkHit(
+                                sink=label,
+                                line=call.lineno,
+                                col=call.col_offset,
+                                taint=taint,
+                            )
+                        )
+
+
+def _has_slice(node: ast.Subscript) -> bool:
+    index = node.slice
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Tuple):
+        return any(isinstance(element, ast.Slice) for element in index.elts)
+    return False
+
+
+def _calls_in_statement(stmt: ast.stmt) -> Iterable[ast.Call]:
+    """Calls syntactically inside ``stmt`` but not in nested defs."""
+    todo: List[ast.AST] = [stmt]
+    while todo:
+        node = todo.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and node is not stmt:
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def analyze_function(
+    fn: ast.AST,
+    aliases: Dict[str, str],
+    policy: TaintPolicy,
+    seed_params: bool = False,
+) -> FunctionSummary:
+    """Run the forward pass over one function body.
+
+    The statement pass runs twice so taint assigned late in a loop body
+    reaches uses earlier in the next iteration; duplicate sink hits from
+    the second pass are collapsed.
+    """
+    tracker = _Tracker(policy, aliases, seed_params, fn)
+    tracker.run(fn.body)
+    tracker.run(fn.body)
+    seen = set()
+    unique: List[SinkHit] = []
+    for hit in tracker.summary.hits:
+        key = (hit.sink, hit.line, hit.col, hit.taint.kind, hit.taint.detail)
+        if key not in seen:
+            seen.add(key)
+            unique.append(hit)
+    tracker.summary.hits = unique
+    return tracker.summary
+
+
+def fixpoint_summaries(
+    functions: Dict[str, Tuple[ast.AST, Dict[str, str]]],
+    policy_factory: Callable[
+        [Dict[str, Tuple[str, str]], Dict[str, FunctionSummary]], TaintPolicy
+    ],
+    max_rounds: int = 8,
+) -> Dict[str, FunctionSummary]:
+    """Interprocedural driver: iterate until the summaries stabilise.
+
+    ``functions`` maps qualname -> (FunctionDef, module import aliases).
+    ``policy_factory`` builds a :class:`TaintPolicy` given (a) the
+    current map of *functions whose return value is tainted* — to inject
+    as extra sources — and (b) last round's full summaries — so callers
+    can turn ``param_sinks`` into derived sinks at the call sites.  Each
+    round therefore sees one more level of call depth, in both
+    directions (taint flowing *out* of callees via returns, and *into*
+    callees via parameters).  Rounds are bounded: taint chains deeper
+    than ``max_rounds`` calls are a documented blind spot.
+    """
+    tainted_returns: Dict[str, Tuple[str, str]] = {}
+    summaries: Dict[str, FunctionSummary] = {}
+    fingerprint: object = None
+    for _ in range(max_rounds):
+        policy = policy_factory(dict(tainted_returns), summaries)
+        summaries = {
+            qualname: analyze_function(fn, aliases, policy, seed_params=True)
+            for qualname, (fn, aliases) in functions.items()
+        }
+        for qualname, summary in summaries.items():
+            if summary.returns_tainted and qualname not in tainted_returns:
+                taint = sorted(
+                    summary.returns_tainted, key=lambda t: (t.kind, t.detail)
+                )[0]
+                tainted_returns[qualname] = (
+                    taint.kind,
+                    f"{taint.detail} via {qualname.rsplit('.', 1)[-1]}()",
+                )
+        new_fingerprint = (
+            tuple(sorted(tainted_returns)),
+            tuple(
+                (qualname, param, tuple(sorted(labels)))
+                for qualname in sorted(summaries)
+                for param, labels in sorted(
+                    summaries[qualname].param_sinks.items()
+                )
+            ),
+        )
+        if new_fingerprint == fingerprint:
+            break
+        fingerprint = new_fingerprint
+    return summaries

@@ -18,15 +18,41 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 from ..errors import ConfigError
 from .baseline import Baseline, BaselineEntry
 from .diagnostics import Diagnostic, Severity
-from .rules import ProjectRule, Rule, all_rules
+from .rules import RELAXED_RULE_IDS, ProjectRule, Rule, all_rules
 
 #: Pseudo rule id for files the engine cannot parse at all.
 PARSE_ERROR_RULE = "FLC000"
 
-_SUPPRESS = re.compile(r"#\s*flocheck:\s*disable=([A-Za-z0-9_,\s]+)")
+#: Pseudo rule id for malformed suppression comments (engine-emitted,
+#: like FLC000 — not in the registry, never itself suppressible).
+SUPPRESSION_RULE = "FLC099"
+
+_SUPPRESS = re.compile(
+    r"#\s*flocheck:\s*disable=([A-Za-z0-9_,\s]*?)\s*(?:--\s*(\S.*?))?\s*$"
+)
 
 #: Default baseline location: shipped next to this package.
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One ``# flocheck: disable=`` comment, parsed.
+
+    A suppression must carry a trailing reason (``-- <why>``): the whole
+    point of an inline waiver is that the *next* reader learns why the
+    rule does not apply here.  A reasonless comment is inert — it
+    suppresses nothing and the engine reports it as ``FLC099``.
+    """
+
+    line: int
+    ids: frozenset  # upper-cased rule ids, or {"ALL"}
+    reason: str  # "" when missing (malformed)
+    line_content: str = ""
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.reason)
 
 
 class SourceModule:
@@ -39,7 +65,12 @@ class SourceModule:
         self.text = text
         self.lines: List[str] = text.splitlines()
         self.tree: ast.AST = ast.parse(text, filename=str(path))
-        self._suppressions: Dict[int, Set[str]] = self._parse_suppressions()
+        self.suppressions: List[SuppressionRecord] = self._parse_suppressions()
+        self._active: Dict[int, Set[str]] = {
+            record.line: set(record.ids)
+            for record in self.suppressions
+            if record.well_formed
+        }
 
     @classmethod
     def load(cls, path: Path, relpath: str, module: str) -> "SourceModule":
@@ -52,24 +83,32 @@ class SourceModule:
             return self.lines[line - 1].strip()
         return ""
 
-    def _parse_suppressions(self) -> Dict[int, Set[str]]:
-        suppressions: Dict[int, Set[str]] = {}
+    def _parse_suppressions(self) -> List[SuppressionRecord]:
+        records: List[SuppressionRecord] = []
         for lineno, text in enumerate(self.lines, start=1):
             match = _SUPPRESS.search(text)
             if not match:
                 continue
-            ids = {
+            ids = frozenset(
                 token.strip().upper()
                 for token in match.group(1).split(",")
                 if token.strip()
-            }
+            )
             if ids:
-                suppressions[lineno] = ids
-        return suppressions
+                records.append(
+                    SuppressionRecord(
+                        line=lineno,
+                        ids=ids,
+                        reason=(match.group(2) or "").strip(),
+                        line_content=text.strip(),
+                    )
+                )
+        return records
 
     def suppressed(self, line: int, rule_id: str) -> bool:
-        """Whether ``rule_id`` is disabled on ``line`` by a comment."""
-        ids = self._suppressions.get(line)
+        """Whether ``rule_id`` is disabled on ``line`` by a well-formed
+        (reason-carrying) suppression comment."""
+        ids = self._active.get(line)
         if ids is None:
             return False
         return "ALL" in ids or rule_id.upper() in ids
@@ -129,6 +168,27 @@ class Project:
         except OSError:
             return None
 
+    def iter_modules(self) -> List[SourceModule]:
+        """The loaded *package* modules of this run, name-sorted.
+
+        Cross-file rules (call graph, interprocedural taint) analyze the
+        package tree only — external roots pulled in by
+        ``--include-tests`` are excluded so test helpers never become
+        phantom call-graph nodes.
+        """
+        return sorted(
+            (
+                m
+                for m in self._cache.values()
+                if m is not None
+                and (
+                    m.module == self.package_name
+                    or m.module.startswith(self.package_name + ".")
+                )
+            ),
+            key=lambda m: m.module,
+        )
+
     def _load_module(self, name: str) -> Optional[SourceModule]:
         parts = name.split(".")
         if parts[0] != self.package_name:
@@ -162,7 +222,12 @@ def module_relpath(package_root: Path, path: Path) -> str:
 
 def module_name(package_root: Path, path: Path) -> str:
     """Dotted module name of a file under the package root."""
-    rel = path.relative_to(package_root.parent).with_suffix("")
+    return _dotted(package_root.parent, path)
+
+
+def _dotted(base: Path, path: Path) -> str:
+    """Dotted module name of ``path`` relative to ``base``."""
+    rel = path.relative_to(base).with_suffix("")
     parts = list(rel.parts)
     if parts[-1] == "__init__":
         parts = parts[:-1]
@@ -177,6 +242,9 @@ class CheckReport:
     baselined: List[Diagnostic] = field(default_factory=list)
     suppressed: List[Diagnostic] = field(default_factory=list)
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    #: every parsed suppression comment, as ``(relpath, record)`` pairs —
+    #: the audit surface behind ``repro check --show-suppressed``
+    suppression_records: List[tuple] = field(default_factory=list)
     modules_checked: int = 0
     partial: bool = False  # True when a paths subset was checked
 
@@ -217,12 +285,19 @@ class Checker:
         package_root: Path,
         rules: Optional[Sequence[Rule]] = None,
         baseline: Optional[Baseline] = None,
+        extra_roots: Sequence[Path] = (),
     ) -> None:
         self.package_root = Path(package_root)
         if not self.package_root.is_dir():
             raise ConfigError(f"package root {self.package_root} is not a directory")
         self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
         self.baseline = baseline if baseline is not None else Baseline()
+        #: Directories outside the package (tests/, benchmarks/) also
+        #: swept by this run; their modules get the relaxed rule subset.
+        self.extra_roots: List[Path] = [Path(r).resolve() for r in extra_roots]
+        for root in self.extra_roots:
+            if not root.is_dir():
+                raise ConfigError(f"extra root {root} is not a directory")
 
     @classmethod
     def for_package(
@@ -231,6 +306,7 @@ class Checker:
         rules: Optional[Sequence[Rule]] = None,
         baseline: Optional[Baseline] = None,
         use_default_baseline: bool = True,
+        extra_roots: Sequence[Path] = (),
     ) -> "Checker":
         """Checker for the installed ``repro`` package with its shipped
         baseline (unless ``use_default_baseline`` is off)."""
@@ -241,7 +317,7 @@ class Checker:
         )
         if baseline is None and use_default_baseline:
             baseline = Baseline.load(str(DEFAULT_BASELINE))
-        return cls(root, rules=rules, baseline=baseline)
+        return cls(root, rules=rules, baseline=baseline, extra_roots=extra_roots)
 
     # ------------------------------------------------------------------
     # collection
@@ -265,12 +341,11 @@ class Checker:
         modules: List[SourceModule] = []
         failures: List[Diagnostic] = []
         for path in self._select_files(paths):
-            relpath = module_relpath(self.package_root, path)
+            base = self._base_for(path)
+            relpath = path.relative_to(base).as_posix()
             try:
                 modules.append(
-                    SourceModule.load(
-                        path, relpath, module_name(self.package_root, path)
-                    )
+                    SourceModule.load(path, relpath, _dotted(base, path))
                 )
             except SyntaxError as exc:
                 failures.append(
@@ -299,8 +374,17 @@ class Checker:
 
     def _select_files(self, paths: Optional[Sequence[str]]) -> List[Path]:
         if not paths:
-            return sorted(self.package_root.rglob("*.py"))
-        selected: List[Path] = []
+            selected = sorted(self.package_root.rglob("*.py"))
+            for root in self.extra_roots:
+                # the seeded-defect corpus is test *data*, not code under
+                # check: sweeping it would report its mutants as findings
+                selected.extend(
+                    p
+                    for p in sorted(root.rglob("*.py"))
+                    if "corpus" not in p.relative_to(root).parts
+                )
+            return selected
+        selected = []
         for raw in paths:
             path = Path(raw).resolve()
             if path.is_dir():
@@ -310,13 +394,31 @@ class Checker:
             else:
                 raise ConfigError(f"no such file or directory: {raw}")
         for path in selected:
-            try:
-                path.relative_to(self.package_root)
-            except ValueError:
+            if self._base_for(path) is None:
+                roots = [self.package_root, *self.extra_roots]
                 raise ConfigError(
-                    f"{path} is outside the package root {self.package_root}"
-                ) from None
+                    f"{path} is outside the checked roots {roots}"
+                )
         return selected
+
+    def _base_for(self, path: Path) -> Optional[Path]:
+        """The directory relpaths/module names are computed against.
+
+        Package files anchor at the package *parent* (``repro/...`` —
+        stable across checkouts, keeps baseline entries portable); files
+        under an extra root anchor at that root's parent (``tests/...``).
+        """
+        candidates = [self.package_root.parent] + [
+            r.parent for r in self.extra_roots
+        ]
+        roots = [self.package_root, *self.extra_roots]
+        for root, base in zip(roots, candidates):
+            try:
+                path.relative_to(root)
+            except ValueError:
+                continue
+            return base
+        return None
 
     # ------------------------------------------------------------------
     # running
@@ -325,21 +427,37 @@ class Checker:
         partial = bool(paths)
         modules, raw = self._load_selected(paths)
         project = Project(self.package_root, modules)
+        package_name = self.package_root.name
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
                 raw.extend(rule.check_project(project))
-            else:
-                for module in modules:
-                    if rule.applies_to(module):
+                continue
+            for module in modules:
+                external = not (
+                    module.module == package_name
+                    or module.module.startswith(package_name + ".")
+                )
+                if external:
+                    # tests/benchmarks get the relaxed subset, ignoring
+                    # the rule's package-prefixed scope
+                    if rule.rule_id in RELAXED_RULE_IDS:
                         raw.extend(rule.check(module))
+                elif rule.applies_to(module):
+                    raw.extend(rule.check(module))
+        for module in modules:
+            raw.extend(_suppression_hygiene(module))
         raw.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
 
         report = CheckReport(modules_checked=len(modules), partial=partial)
+        for module in modules:
+            for record in module.suppressions:
+                report.suppression_records.append((module.relpath, record))
+        report.suppression_records.sort(key=lambda item: (item[0], item[1].line))
         unsuppressed: List[Diagnostic] = []
         for diag in raw:
             module = project.module_for_path(diag.path)
             if (
-                diag.rule_id != PARSE_ERROR_RULE
+                diag.rule_id not in (PARSE_ERROR_RULE, SUPPRESSION_RULE)
                 and module is not None
                 and module.suppressed(diag.line, diag.rule_id)
             ):
@@ -354,3 +472,32 @@ class Checker:
         # unchecked files are not stale, so skip the drift check entirely.
         report.stale_baseline = [] if partial else match.stale
         return report
+
+
+def _suppression_hygiene(module: SourceModule) -> List[Diagnostic]:
+    """``FLC099`` findings for malformed suppression comments.
+
+    A suppression without a trailing ``-- <reason>`` is inert (it does
+    not suppress anything) *and* reported, so a stray waiver can neither
+    silently mask findings nor linger unexplained.
+    """
+    out: List[Diagnostic] = []
+    for record in module.suppressions:
+        if record.well_formed:
+            continue
+        ids = ",".join(sorted(record.ids))
+        out.append(
+            Diagnostic(
+                rule_id=SUPPRESSION_RULE,
+                severity=Severity.ERROR,
+                path=module.relpath,
+                line=record.line,
+                col=0,
+                message=(
+                    f"suppression of {ids} has no reason; it is ignored"
+                ),
+                hint="append ' -- <why this rule does not apply here>'",
+                line_content=record.line_content,
+            )
+        )
+    return out

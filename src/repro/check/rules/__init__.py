@@ -73,6 +73,12 @@ class ProjectRule(Rule):
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
+#: Rules safe to run on test/benchmark code (``--include-tests``).  Test
+#: modules legitimately read wall clocks, compare floats, and mutate
+#: fixtures, so only the universally-wrong defect classes apply there:
+#: mutable default arguments and unpicklable spawn payloads.
+RELAXED_RULE_IDS = frozenset({"FLC005", "FLC007"})
+
 
 def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the global registry."""
@@ -117,11 +123,15 @@ def known_rule_ids() -> Iterable[str]:
 def _load_builtin_rules() -> None:
     """Import the builtin rule modules so their ``@register`` calls run."""
     from . import (  # noqa: F401  (imported for registration side effects)
+        array_aliasing,
+        barrier_protocol,
         config_drift,
         determinism,
+        digest_purity,
         float_equality,
         mutable_defaults,
         pickle_safety,
+        process_safety,
         spawn_safety,
         units,
     )

@@ -1,0 +1,294 @@
+"""FLC008 — barrier-protocol misuse in the file-based exchange.
+
+The shard gang (:mod:`repro.inet.shard`) synchronises through files: a
+worker *publishes* its epoch payload atomically, then *collects* its
+peers' payloads by polling, raising :class:`ShardBarrierTimeout` when a
+peer stalls so the supervisor can salvage the run.  Four properties make
+that protocol safe, and each has a syntactic shadow this rule checks:
+
+* **Publish before collect.**  Collecting the current epoch before
+  publishing your own piece deadlocks the gang: everyone polls for a
+  file nobody has written.  Calls that collect must come after the
+  publish in the same function.
+* **Monotonic epoch arithmetic.**  Ticks and epochs only advance;
+  decrementing one re-enters a barrier round whose files the GC may
+  already have removed, so a worker can wait forever on a deleted
+  directory.
+* **Atomic barrier writes.**  Barrier files are read by other processes
+  the instant they exist; they must be written to a temp name and
+  ``os.replace``-d into place (``mkstemp`` + ``os.fdopen``), never with
+  a plain ``open(path, "w")`` a reader can observe half-written.
+* **Timeouts must propagate.**  ``ShardBarrierTimeout`` is the
+  supervisor's salvage signal; an except-handler that swallows it turns
+  a recoverable stall into a silent hang.  Likewise a poll loop with no
+  timeout raise can never report the stall at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from ..astutil import dotted_name, terminal_identifier
+from ..diagnostics import Diagnostic
+from . import Rule, register
+
+_BARRIER_CLASS = re.compile(r"Barrier|Exchange")
+_COUNTER = re.compile(r"tick|epoch")
+
+#: write-ish modes for builtin open()
+_WRITE_MODES = ("w", "a", "x")
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``fn`` excluding nested function/lambda bodies."""
+    todo: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def _functions_with_class(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """Top-level functions and class methods with their class context."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, sub
+
+
+def _is_collect_call(call: ast.Call) -> Optional[str]:
+    name = terminal_identifier(call.func)
+    if name is None:
+        return None
+    bare = name.lstrip("_")
+    if bare.startswith("collect") and "garbage" not in name:
+        return name
+    return None
+
+
+def _is_publish_call(call: ast.Call) -> Optional[str]:
+    name = terminal_identifier(call.func)
+    if name is None:
+        return None
+    if name.lstrip("_").startswith("publish"):
+        return name
+    return None
+
+
+def _open_write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string when ``call`` is a builtin open-for-write."""
+    if dotted_name(call.func) != "open":
+        return None
+    mode: Optional[ast.AST] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(ch in mode.value for ch in _WRITE_MODES):
+            return mode.value
+    return None
+
+
+def _handles_timeout(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's type mentions ShardBarrierTimeout."""
+    if handler.type is None:
+        return False
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        terminal_identifier(t) == "ShardBarrierTimeout" for t in types
+    )
+
+
+@register
+class BarrierProtocolRule(Rule):
+    rule_id = "FLC008"
+    description = (
+        "file-barrier protocol: publish before collect, monotonic "
+        "epochs, atomic barrier writes, propagated timeouts"
+    )
+    scope = ("repro.inet", "repro.fleet", "repro.runner")
+
+    def check(self, module) -> Iterator[Diagnostic]:
+        for cls_name, fn in _functions_with_class(module.tree):
+            yield from self._check_ordering(module, fn)
+            yield from self._check_epoch_arithmetic(module, fn)
+            yield from self._check_timeout_handling(module, fn)
+            yield from self._check_poll_loop(module, fn)
+            if cls_name is not None and _BARRIER_CLASS.search(cls_name):
+                yield from self._check_raw_write(module, cls_name, fn)
+
+    # -- collect before publish ----------------------------------------
+    def _check_ordering(self, module, fn: ast.AST) -> Iterator[Diagnostic]:
+        first_publish: Optional[ast.Call] = None
+        first_collect: Optional[ast.Call] = None
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_publish_call(node) is not None:
+                if first_publish is None or node.lineno < first_publish.lineno:
+                    first_publish = node
+            elif _is_collect_call(node) is not None:
+                if first_collect is None or node.lineno < first_collect.lineno:
+                    first_collect = node
+        if (
+            first_publish is not None
+            and first_collect is not None
+            and first_collect.lineno < first_publish.lineno
+        ):
+            yield self.diagnostic(
+                module,
+                first_collect.lineno,
+                first_collect.col_offset,
+                f"{terminal_identifier(first_collect.func)}() before "
+                f"{terminal_identifier(first_publish.func)}() in the same "
+                "barrier round; every peer waits for a file nobody has "
+                "written yet and the gang deadlocks",
+                hint="publish this rank's piece first, then collect peers",
+            )
+
+    # -- epoch arithmetic ----------------------------------------------
+    def _check_epoch_arithmetic(self, module, fn) -> Iterator[Diagnostic]:
+        for node in _own_nodes(fn):
+            name = self._decremented_counter(node)
+            if name is not None:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name!r} is decremented; barrier ticks/epochs only "
+                    "advance — re-entering an earlier round races the "
+                    "epoch GC, which may already have removed its files",
+                    hint="derive earlier rounds by arithmetic on a copy; "
+                    "never move the live counter backwards",
+                )
+
+    @staticmethod
+    def _decremented_counter(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Sub):
+            key = dotted_name(node.target)
+            if key is not None:
+                terminal = key.rsplit(".", 1)[-1]
+                if _COUNTER.search(terminal):
+                    return terminal
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.BinOp):
+            if isinstance(node.value.op, ast.Sub):
+                left = dotted_name(node.value.left)
+                for target in node.targets:
+                    key = dotted_name(target)
+                    if key is not None and key == left:
+                        terminal = key.rsplit(".", 1)[-1]
+                        if _COUNTER.search(terminal):
+                            return terminal
+        return None
+
+    # -- raw writes in barrier classes ---------------------------------
+    def _check_raw_write(self, module, cls_name, fn) -> Iterator[Diagnostic]:
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"open(..., {mode!r}) inside {cls_name}: peers read "
+                    "barrier files the instant they exist, so a plain "
+                    "write is observable half-written",
+                    hint="write to a tempfile.mkstemp name in the same "
+                    "directory and os.replace() it into place",
+                )
+
+    # -- swallowed timeouts --------------------------------------------
+    def _check_timeout_handling(self, module, fn) -> Iterator[Diagnostic]:
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handles_timeout(node):
+                continue
+            reraises = any(
+                isinstance(sub, ast.Raise)
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if not reraises:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "ShardBarrierTimeout caught without re-raising; the "
+                    "timeout is the supervisor's salvage signal and "
+                    "swallowing it turns a recoverable stall into a hang",
+                    hint="let it propagate (or `raise` after cleanup) so "
+                    "the pool can salvage completed units",
+                )
+
+    # -- unbounded poll loops ------------------------------------------
+    def _check_poll_loop(self, module, fn) -> Iterator[Diagnostic]:
+        raises_timeout = any(
+            isinstance(node, ast.Raise)
+            and node.exc is not None
+            and self._mentions_timeout(node.exc)
+            for node in _own_nodes(fn)
+        )
+        if raises_timeout:
+            return
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.While) and self._is_barrier_poll(node):
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "barrier poll loop with no timeout raise anywhere in "
+                    "the function; a crashed peer leaves this loop "
+                    "spinning forever",
+                    hint="track a deadline and raise ShardBarrierTimeout "
+                    "when it passes (see BarrierExchange._collect)",
+                )
+
+    @staticmethod
+    def _mentions_timeout(exc: ast.AST) -> bool:
+        for node in ast.walk(exc):
+            if isinstance(node, ast.Name) and "Timeout" in node.id:
+                return True
+            if isinstance(node, ast.Attribute) and "Timeout" in node.attr:
+                return True
+        return False
+
+    @staticmethod
+    def _is_barrier_poll(loop: ast.While) -> bool:
+        sleeps = False
+        watches_files = False
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                if terminal_identifier(node.func) == "sleep":
+                    sleeps = True
+                elif terminal_identifier(node.func) == "exists":
+                    watches_files = True
+            elif isinstance(node, ast.ExceptHandler) and node.type is not None:
+                types = (
+                    node.type.elts
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                if any(
+                    terminal_identifier(t) == "FileNotFoundError"
+                    for t in types
+                ):
+                    watches_files = True
+        return sleeps and watches_files

@@ -1,0 +1,174 @@
+"""SARIF 2.1.0 export for flocheck reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning upload action consumes: uploading the file from CI makes
+every finding annotate the PR diff at its exact line.  The exporter maps
+a :class:`~repro.check.engine.CheckReport` onto one SARIF ``run``:
+
+* every registered rule (plus the engine pseudo-rules ``FLC000`` and
+  ``FLC099``) becomes a ``reportingDescriptor`` so GitHub can show rule
+  help inline;
+* new findings become plain ``result`` objects at ``level``
+  error/warning;
+* baselined findings are emitted with an ``external`` suppression and
+  inline-suppressed findings with an ``inSource`` suppression, so they
+  appear greyed-out instead of vanishing — reviewers see what is being
+  tolerated and why;
+* flocheck paths are package-relative (``repro/...``); SARIF locations
+  must resolve from the repository root, so package paths gain the
+  ``src/`` prefix while test/benchmark paths are already root-relative.
+
+Columns are 1-based in SARIF but 0-based in the AST, hence the ``+1``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .diagnostics import Diagnostic, Severity
+from .engine import PARSE_ERROR_RULE, SUPPRESSION_RULE, CheckReport
+from .rules import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: engine pseudo-rules that never live in the registry
+_PSEUDO_RULES = [
+    (PARSE_ERROR_RULE, "file does not parse; flocheck analyses the AST"),
+    (
+        SUPPRESSION_RULE,
+        "suppression comment without a trailing '-- <reason>'; it is "
+        "inert and must be completed or removed",
+    ),
+]
+
+
+def _rule_rows() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for rule in all_rules():
+        rows.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _level(rule.severity),
+                },
+            }
+        )
+    for rule_id, description in _PSEUDO_RULES:
+        rows.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return rows
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _uri(path: str, package_name: str) -> str:
+    if path == package_name or path.startswith(package_name + "/"):
+        return f"src/{path}"
+    return path
+
+
+def _result(
+    diag: Diagnostic,
+    rule_index: Dict[str, int],
+    package_name: str,
+    suppression: Optional[Dict[str, str]] = None,
+) -> Dict[str, object]:
+    message = diag.message
+    if diag.hint:
+        message = f"{message}. Fix: {diag.hint}"
+    result: Dict[str, object] = {
+        "ruleId": diag.rule_id,
+        "level": _level(diag.severity),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _uri(diag.path, package_name),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": diag.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if diag.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule_id]
+    if suppression is not None:
+        result["suppressions"] = [suppression]
+    return result
+
+
+def report_to_sarif(
+    report: CheckReport, package_name: str = "repro"
+) -> Dict[str, object]:
+    """One SARIF ``log`` document for a check run."""
+    rules = _rule_rows()
+    rule_index = {row["id"]: i for i, row in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for diag in report.new_findings:
+        results.append(_result(diag, rule_index, package_name))
+    for diag in report.baselined:
+        results.append(
+            _result(
+                diag,
+                rule_index,
+                package_name,
+                suppression={
+                    "kind": "external",
+                    "justification": "grandfathered in baseline.json",
+                },
+            )
+        )
+    for diag in report.suppressed:
+        results.append(
+            _result(
+                diag,
+                rule_index,
+                package_name,
+                suppression={
+                    "kind": "inSource",
+                    "justification": "suppressed by a reasoned "
+                    "'# flocheck: disable=' comment",
+                },
+            )
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "flocheck",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    report: CheckReport, path: str, package_name: str = "repro"
+) -> None:
+    """Serialise the report to ``path`` as SARIF 2.1.0 JSON."""
+    document = report_to_sarif(report, package_name=package_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")

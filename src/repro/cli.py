@@ -731,7 +731,11 @@ def _check(args) -> int:
 
     baseline_path = args.baseline or str(DEFAULT_BASELINE)
     baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
-    checker = Checker.for_package(baseline=baseline)
+    extra_roots = _check_extra_roots() if args.include_tests else ()
+    checker = Checker.for_package(baseline=baseline, extra_roots=extra_roots)
+
+    if args.graph:
+        return _check_graph(checker)
 
     if args.update_baseline:
         report = checker.run(args.paths or None)
@@ -752,11 +756,70 @@ def _check(args) -> int:
                 f"stale baseline entry (finding fixed? remove it): "
                 f"{entry.describe()}\n"
             )
+    if args.show_suppressed:
+        if report.suppression_records:
+            sys.stdout.write("suppressions:\n")
+        for relpath, record in report.suppression_records:
+            ids = ",".join(sorted(record.ids))
+            reason = record.reason or "(NO REASON -- inert, see FLC099)"
+            sys.stdout.write(
+                f"  {relpath}:{record.line}: {ids}: {reason}\n"
+            )
+    if args.sarif:
+        from .check.sarif import write_sarif
+
+        write_sarif(report, args.sarif)
+        sys.stdout.write(f"wrote SARIF report to {args.sarif}\n")
     sys.stdout.write(report.summary() + "\n")
     failed = bool(report.new_findings) or (
         args.strict and bool(report.stale_baseline)
     )
     return 1 if failed else 0
+
+
+def _check_extra_roots():
+    """tests/ and benchmarks/ siblings of the package, when present.
+
+    Resolved from the installed package location (src layout); roots
+    that do not exist — an installed wheel without the repo — are
+    silently skipped.
+    """
+    from pathlib import Path
+
+    import repro
+
+    repo_root = Path(repro.__file__).resolve().parent.parent.parent
+    return [
+        root
+        for root in (repo_root / "tests", repo_root / "benchmarks")
+        if root.is_dir()
+    ]
+
+
+def _check_graph(checker) -> int:
+    """Dump the call graph + spawn reachability (debug surface)."""
+    from .check.callgraph import CallGraph, SymbolTable, spawn_entrypoints
+    from .check.engine import Project
+
+    modules = checker.collect()
+    project = Project(checker.package_root, modules)
+    table = SymbolTable.build(project.iter_modules())
+    graph = CallGraph(table)
+    roots = spawn_entrypoints(table)
+    reachable = graph.reachable(roots)
+    sys.stdout.write(
+        f"{len(table.functions)} functions, {graph.edge_count()} call "
+        f"edges\n"
+    )
+    sys.stdout.write("spawn entrypoints:\n")
+    for root in roots:
+        sys.stdout.write(f"  {root}\n")
+    sys.stdout.write(
+        f"reachable from spawn entrypoints: {len(reachable)} functions\n"
+    )
+    for qualname in sorted(reachable):
+        sys.stdout.write(f"  {qualname}\n")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -936,6 +999,27 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    check.add_argument(
+        "--sarif", metavar="OUT", default=None,
+        help="also write the report as SARIF 2.1.0 to OUT (new, "
+             "baselined, and suppressed findings; CI uploads this so "
+             "findings annotate PR diffs)",
+    )
+    check.add_argument(
+        "--show-suppressed", action="store_true",
+        help="list every '# flocheck: disable=' comment with its reason "
+             "(the inline-waiver audit surface)",
+    )
+    check.add_argument(
+        "--include-tests", action="store_true",
+        help="also sweep tests/ and benchmarks/ with the relaxed rule "
+             "subset (mutable defaults, spawn-payload safety)",
+    )
+    check.add_argument(
+        "--graph", action="store_true",
+        help="print the call graph summary and spawn-entrypoint "
+             "reachability instead of running the rules",
     )
     return parser
 

@@ -79,7 +79,7 @@ def _merge_tick_series(out: TickSeries, piece: TickSeries) -> None:
 
 def _merge_ring_series(out: RingSeries, piece: RingSeries) -> None:
     # ring capacity is an integral buffer size, not a link rate
-    if piece.capacity != out.capacity:  # flocheck: disable=FLC003
+    if piece.capacity != out.capacity:  # flocheck: disable=FLC003 -- ring capacity is an integral buffer size, not a link rate; exact mismatch is the error being raised
         raise ConfigError(
             f"cannot merge ring series of capacity {piece.capacity} "
             f"into capacity {out.capacity}"

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import tempfile
 import time
 from queue import Empty
 from dataclasses import dataclass, field
@@ -387,9 +388,13 @@ class _FleetRun:
             "worker_deaths": sorted(self.deaths.get(name, ())),
             "recipe": _recipe_of(task),
         }
-        with open(path, "w", encoding="utf-8") as fh:
+        # reproducers are read by humans and re-run tooling while the
+        # supervisor may still be crashing; never expose a torn file
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True, default=str)
             fh.write("\n")
+        os.replace(tmp, path)
         self._finish(
             TaskOutcome(
                 name=name,

@@ -1,0 +1,14 @@
+"""Seeded defect: collect called before publish in the same round."""
+
+
+class PieceExchange:
+    def allreduce(self, tick, payload):
+        peers = self._collect(tick)
+        self._publish(tick, "round", payload)
+        return peers
+
+    def _collect(self, tick):
+        return []
+
+    def _publish(self, tick, key, payload):
+        return None

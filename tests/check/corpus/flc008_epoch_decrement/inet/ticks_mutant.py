@@ -1,0 +1,9 @@
+"""Seeded defect: barrier tick moved backwards."""
+
+
+class TickWindow:
+    def __init__(self):
+        self.tick = 0
+
+    def rewind(self):
+        self.tick -= 1

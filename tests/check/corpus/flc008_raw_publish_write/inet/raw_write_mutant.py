@@ -1,0 +1,13 @@
+"""Seeded defect: barrier file written non-atomically."""
+
+import os
+
+
+class RawBarrierExchange:
+    def __init__(self, root):
+        self.root = root
+
+    def publish_piece(self, tick, data):
+        path = os.path.join(self.root, f"piece-{tick}.bin")
+        with open(path, "wb") as fh:
+            fh.write(data)

@@ -1,0 +1,12 @@
+"""Seeded defect: barrier timeout swallowed instead of propagated."""
+
+
+class ShardBarrierTimeout(Exception):
+    pass
+
+
+def gather(exchange, tick):
+    try:
+        return exchange.fetch(tick)
+    except ShardBarrierTimeout:
+        return None

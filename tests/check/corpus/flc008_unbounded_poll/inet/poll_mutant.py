@@ -1,0 +1,10 @@
+"""Seeded defect: barrier poll loop with no timeout raise."""
+
+import os
+import time
+
+
+def wait_for_piece(path):
+    while not os.path.exists(path):
+        time.sleep(0.01)
+    return path

@@ -1,0 +1,8 @@
+"""Module-global rebinding reachable from a task run method."""
+
+_active = None
+
+
+def install(value):
+    global _active
+    _active = value

@@ -1,0 +1,7 @@
+"""Spawn entrypoint reaching the global mutation two modules away."""
+
+from ..stats.registry_mutant import record
+
+
+def worker_main(config):
+    record("started", config)

@@ -1,0 +1,7 @@
+"""Module outside the fleet layers with a mutable module global."""
+
+_RECORDS = {}
+
+
+def record(name, value):
+    _RECORDS[name] = value

@@ -1,0 +1,9 @@
+"""Seeded defect: the original pool.py quarantine torn write."""
+
+import json
+
+
+def write_reproducer(path, payload):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,6 @@
+"""Seeded defect: heartbeat file written non-atomically."""
+
+
+def pulse(path, tick):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(str(tick))

@@ -1,0 +1,11 @@
+"""Seeded defect: array mutated in place after being published."""
+
+
+class Publisher:
+    def exchange(self, tick, key, buf):
+        self._publish(tick, key, buf)
+        buf[0] = 0.0
+        return buf
+
+    def _publish(self, tick, key, payload):
+        return None

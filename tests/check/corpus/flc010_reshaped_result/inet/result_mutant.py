@@ -1,0 +1,11 @@
+"""Seeded defect: a reshape view shipped inside a shard result."""
+
+
+class ShardResult:
+    def __init__(self, owned):
+        self.owned = owned
+
+
+def pack(grid):
+    flat = grid.reshape(-1)
+    return ShardResult(owned=flat)

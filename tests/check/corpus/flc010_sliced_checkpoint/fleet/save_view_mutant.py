@@ -1,0 +1,6 @@
+"""Seeded defect: a slice view persisted into the checkpoint store."""
+
+
+def persist_window(store, name, vec, lo, hi):
+    piece = vec[lo:hi]
+    store.save("unit", name, piece)

@@ -1,0 +1,11 @@
+"""Seeded defect: unsorted directory listing hashed into a digest."""
+
+import hashlib
+import os
+
+
+def tree_digest(root):
+    h = hashlib.sha256()
+    for name in os.listdir(root):
+        h.update(name.encode())
+    return h.hexdigest()

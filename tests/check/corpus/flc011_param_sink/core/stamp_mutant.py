@@ -1,0 +1,9 @@
+"""Seeded defect: wall clock reaches the digest through a parameter."""
+
+import time
+
+from ..util.hashing_helper import digest_of
+
+
+def stamp():
+    return digest_of(str(time.time()).encode())

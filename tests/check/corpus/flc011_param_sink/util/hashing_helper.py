@@ -1,0 +1,9 @@
+"""Clean helper: hashes whatever payload it is handed."""
+
+import hashlib
+
+
+def digest_of(payload):
+    h = hashlib.sha256()
+    h.update(payload)
+    return h.hexdigest()

@@ -1,0 +1,7 @@
+"""Caller persisting the pid two calls away from its source."""
+
+from ..util.ids_mutant import run_token
+
+
+def persist(store, name):
+    store.save("meta", name, run_token())

@@ -1,0 +1,7 @@
+"""Helper returning an impure value (pid) for its callers."""
+
+import os
+
+
+def run_token():
+    return os.getpid()

@@ -1,0 +1,10 @@
+"""Seeded defect: wall-clock value hashed into a run digest."""
+
+import hashlib
+import time
+
+
+def stamp_digest():
+    h = hashlib.sha256()
+    h.update(str(time.time()).encode())
+    return h.hexdigest()

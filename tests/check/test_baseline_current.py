@@ -24,5 +24,8 @@ def test_shipped_baseline_exactly_matches_tree():
 def test_every_rule_family_ran_over_the_tree():
     checker = Checker.for_package()
     ran = {rule.rule_id for rule in checker.rules}
-    assert {"FLC001", "FLC002", "FLC003", "FLC004", "FLC005", "FLC006"} <= ran
+    assert {
+        "FLC001", "FLC002", "FLC003", "FLC004", "FLC005", "FLC006",
+        "FLC007", "FLC008", "FLC009", "FLC010", "FLC011",
+    } <= ran
     assert checker.run().modules_checked > 50

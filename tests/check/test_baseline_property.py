@@ -1,0 +1,130 @@
+"""Property tests for the shrink-only baseline invariant.
+
+The baseline contract (``src/repro/check/baseline.py``) is exact-count
+matching: a tree must contain *exactly* as many findings with a given
+``(rule, path, line_content)`` identity as the baseline grants.  The
+properties below pin the two directions of that contract for arbitrary
+finding multisets:
+
+* the baseline can only **shrink** — fixing a finding surfaces its entry
+  as stale, it is never silently kept; and
+* it can never **grow** — any finding beyond the granted count is new,
+  never silently absorbed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.baseline import Baseline
+from repro.check.diagnostics import Diagnostic, Severity
+
+RULES = ("FLC001", "FLC003", "FLC007", "FLC010")
+PATHS = ("repro/core/link.py", "repro/fleet/pool.py", "repro/inet/shard.py")
+LINES = ("x = time.time()", "open(path, 'w')", "buf = vec[lo:hi]")
+
+
+def diagnostic(rule, path, content, line=1):
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.WARNING,
+        path=path,
+        line=line,
+        col=0,
+        message="synthetic finding",
+        line_content=content,
+    )
+
+
+diagnostics = st.builds(
+    diagnostic,
+    rule=st.sampled_from(RULES),
+    path=st.sampled_from(PATHS),
+    content=st.sampled_from(LINES),
+    line=st.integers(min_value=1, max_value=400),
+)
+
+finding_lists = st.lists(diagnostics, max_size=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(findings=finding_lists)
+def test_match_partitions_findings(findings):
+    baseline = Baseline.from_findings(findings[: len(findings) // 2])
+    result = baseline.match(findings)
+    assert len(result.new) + len(result.baselined) == len(findings)
+    assert set(result.new) | set(result.baselined) >= set(findings)
+
+
+@settings(max_examples=200, deadline=None)
+@given(findings=finding_lists)
+def test_exact_baseline_is_clean_and_not_stale(findings):
+    """from_findings(X).match(X) -> nothing new, nothing stale."""
+    baseline = Baseline.from_findings(findings)
+    result = baseline.match(findings)
+    assert result.new == []
+    assert result.stale == []
+    assert len(result.baselined) == len(findings)
+
+
+@settings(max_examples=200, deadline=None)
+@given(findings=finding_lists, data=st.data())
+def test_fixed_findings_surface_as_stale(findings, data):
+    """Shrink direction: removing findings makes entries stale."""
+    baseline = Baseline.from_findings(findings)
+    keep = data.draw(
+        st.lists(
+            st.sampled_from(findings) if findings else st.nothing(),
+            max_size=len(findings),
+            unique_by=id,
+        )
+        if findings
+        else st.just([])
+    )
+    result = baseline.match(keep)
+    assert result.new == []
+    kept = {}
+    for diag in keep:
+        kept[diag.baseline_key] = kept.get(diag.baseline_key, 0) + 1
+    for entry in baseline.entries:
+        if kept.get(entry.key, 0) < entry.count:
+            assert entry in result.stale
+        else:
+            assert entry not in result.stale
+
+
+@settings(max_examples=200, deadline=None)
+@given(findings=finding_lists, extra=finding_lists)
+def test_extra_findings_are_always_new(findings, extra):
+    """Grow direction: findings beyond the budget are never absorbed."""
+    baseline = Baseline.from_findings(findings)
+    result = baseline.match(findings + extra)
+    assert len(result.new) == len(extra)
+    assert len(result.baselined) == len(findings)
+
+
+@settings(max_examples=200, deadline=None)
+@given(findings=finding_lists)
+def test_budget_never_exceeded_per_key(findings):
+    baseline = Baseline.from_findings(findings)
+    granted = {entry.key: entry.count for entry in baseline.entries}
+    result = baseline.match(findings + findings)  # doubled tree
+    used = {}
+    for diag in result.baselined:
+        used[diag.baseline_key] = used.get(diag.baseline_key, 0) + 1
+    for key, count in used.items():
+        assert count <= granted.get(key, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(findings=finding_lists)
+def test_save_load_round_trip_preserves_matching(findings, tmp_path_factory):
+    path = tmp_path_factory.mktemp("baseline") / "baseline.json"
+    baseline = Baseline.from_findings(findings)
+    baseline.save(str(path))
+    reloaded = Baseline.load(str(path))
+    original = baseline.match(findings)
+    again = reloaded.match(findings)
+    assert [d.baseline_key for d in again.baselined] == [
+        d.baseline_key for d in original.baselined
+    ]
+    assert again.new == original.new == []

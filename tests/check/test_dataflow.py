@@ -1,0 +1,305 @@
+"""The forward taint pass: sources, sanitizers, sinks, summaries."""
+
+import ast
+
+from repro.check.dataflow import (
+    SinkSpec,
+    TaintPolicy,
+    analyze_function,
+    fixpoint_summaries,
+)
+
+
+def first_function(source):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in source")
+
+
+def digest_sink():
+    return SinkSpec(
+        match=lambda call, resolved, terminal: (
+            "digest" if resolved and resolved.startswith("hashlib.") else None
+        ),
+    )
+
+
+def base_policy(**overrides):
+    policy = TaintPolicy(
+        sources={"time.time": ("wall-clock", "time.time()")},
+        sinks=[digest_sink()],
+    )
+    for name, value in overrides.items():
+        setattr(policy, name, value)
+    return policy
+
+
+def run(source, policy, seed_params=False):
+    return analyze_function(
+        first_function(source),
+        {"time": "time", "hashlib": "hashlib", "np": "numpy"},
+        policy,
+        seed_params=seed_params,
+    )
+
+
+class TestSourceToSink:
+    def test_direct_flow(self):
+        summary = run(
+            """
+def f():
+    stamp = time.time()
+    hashlib.sha256(str(stamp).encode())
+""",
+            base_policy(),
+        )
+        assert len(summary.hits) == 1
+        assert summary.hits[0].sink == "digest"
+        assert summary.hits[0].taint.kind == "wall-clock"
+
+    def test_flow_through_fstring_and_container(self):
+        summary = run(
+            """
+def f():
+    stamp = time.time()
+    payload = {"at": f"t={stamp}"}
+    hashlib.sha256(repr(payload).encode())
+""",
+            base_policy(),
+        )
+        assert len(summary.hits) == 1
+
+    def test_clean_value_is_silent(self):
+        summary = run(
+            """
+def f(tick):
+    hashlib.sha256(str(tick).encode())
+""",
+            base_policy(),
+        )
+        assert summary.hits == []
+
+    def test_reassignment_clears_taint(self):
+        summary = run(
+            """
+def f():
+    stamp = time.time()
+    stamp = 0.0
+    hashlib.sha256(str(stamp).encode())
+""",
+            base_policy(),
+        )
+        assert summary.hits == []
+
+    def test_loop_back_edge_needs_second_pass(self):
+        # `acc` is tainted only at the *end* of the loop body; the
+        # sink earlier in the body sees it on the second sweep.
+        summary = run(
+            """
+def f(items, acc):
+    for _ in items:
+        hashlib.sha256(str(acc).encode())
+        acc = acc + time.time()
+""",
+            base_policy(),
+        )
+        assert len(summary.hits) == 1
+
+
+class TestSanitizersAndTerminals:
+    def test_sanitizer_erases(self):
+        summary = run(
+            """
+def f():
+    stamp = time.time()
+    clean = launder(stamp)
+    hashlib.sha256(str(clean).encode())
+""",
+            base_policy(sanitizers={"launder"}),
+        )
+        assert summary.hits == []
+
+    def test_source_terminal_matches_any_receiver(self):
+        policy = base_policy(
+            source_terminals={"reshape": ("view", ".reshape()")},
+        )
+        summary = run(
+            """
+def f(grid):
+    flat = grid.reshape(-1)
+    hashlib.sha256(flat)
+""",
+            policy,
+        )
+        assert [hit.taint.kind for hit in summary.hits] == ["view"]
+
+    def test_calls_propagate_false_launders_unknown_calls(self):
+        policy = base_policy(calls_propagate=False)
+        summary = run(
+            """
+def f():
+    stamp = time.time()
+    total = accumulate(stamp)
+    hashlib.sha256(str(total).encode())
+""",
+            policy,
+        )
+        assert summary.hits == []
+
+    def test_view_subscript_taints_slice(self):
+        policy = TaintPolicy(
+            sinks=[digest_sink()], view_subscripts=True,
+        )
+        summary = run(
+            """
+def f(vec, lo, hi):
+    part = vec[lo:hi]
+    hashlib.sha256(part)
+""",
+            policy,
+        )
+        assert [hit.taint.kind for hit in summary.hits] == ["view"]
+
+    def test_plain_index_is_not_a_view(self):
+        policy = TaintPolicy(
+            sinks=[digest_sink()], view_subscripts=True,
+        )
+        summary = run(
+            """
+def f(vec):
+    item = vec[0]
+    hashlib.sha256(item)
+""",
+            policy,
+        )
+        assert summary.hits == []
+
+
+class TestSinkSelection:
+    def test_positional_index_and_kwargs_selection(self):
+        spec = SinkSpec(
+            match=lambda call, resolved, terminal: (
+                "payload" if terminal == "save" else None
+            ),
+            args=[2],
+            kwargs=("obj",),
+        )
+        policy = TaintPolicy(
+            sources={"time.time": ("wall-clock", "time.time()")},
+            sinks=[spec],
+        )
+        summary = run(
+            """
+def f(store):
+    stamp = time.time()
+    store.save(1, "key", stamp)
+    store.save(stamp, "key", 0)
+    store.save(1, "key", obj=stamp)
+""",
+            policy,
+        )
+        # arg index 2 and kwarg obj= hit; tainted arg 0 is ignored
+        assert len(summary.hits) == 2
+
+
+class TestSummaries:
+    def test_param_sinks_recorded_not_reported(self):
+        summary = run(
+            """
+def digest_of(payload):
+    return hashlib.sha256(repr(payload).encode())
+""",
+            base_policy(),
+            seed_params=True,
+        )
+        assert summary.hits == []
+        assert summary.param_sinks == {"payload": {"digest"}}
+
+    def test_returns_tainted_excludes_params(self):
+        summary = run(
+            """
+def stamp(tick):
+    return (tick, time.time())
+""",
+            base_policy(),
+            seed_params=True,
+        )
+        kinds = {taint.kind for taint in summary.returns_tainted}
+        assert kinds == {"wall-clock"}
+
+    def test_fixpoint_propagates_returns_through_callers(self):
+        tree = ast.parse(
+            """
+def token():
+    return time.time()
+
+def publish():
+    hashlib.sha256(str(token()).encode())
+"""
+        )
+        aliases = {"time": "time", "hashlib": "hashlib", "token": "m.token"}
+        functions = {
+            "m." + node.name: (node, aliases)
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+
+        def factory(tainted_returns, summaries):
+            return TaintPolicy(
+                sources={"time.time": ("wall-clock", "time.time()")},
+                sinks=[digest_sink()],
+                tainted_calls=dict(tainted_returns),
+            )
+
+        summaries = fixpoint_summaries(functions, factory)
+        assert len(summaries["m.publish"].hits) == 1
+        assert summaries["m.publish"].hits[0].taint.kind == "wall-clock"
+
+    def test_fixpoint_derives_param_sinks_at_call_sites(self):
+        tree = ast.parse(
+            """
+def digest_of(payload):
+    return hashlib.sha256(repr(payload).encode())
+
+def stamp():
+    digest_of(time.time())
+"""
+        )
+        aliases = {
+            "time": "time",
+            "hashlib": "hashlib",
+            "digest_of": "m.digest_of",
+        }
+        functions = {
+            "m." + node.name: (node, aliases)
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+
+        def factory(tainted_returns, summaries):
+            sinks = [digest_sink()]
+            for qualname, summary in summaries.items():
+                for param, labels in summary.param_sinks.items():
+                    fn = qualname
+                    sinks.append(
+                        SinkSpec(
+                            match=(
+                                lambda call, resolved, terminal, fn=fn: (
+                                    "derived"
+                                    if resolved == fn
+                                    else None
+                                )
+                            ),
+                        )
+                    )
+            return TaintPolicy(
+                sources={"time.time": ("wall-clock", "time.time()")},
+                sinks=sinks,
+                tainted_calls=dict(tainted_returns),
+            )
+
+        summaries = fixpoint_summaries(functions, factory)
+        labels = {hit.sink for hit in summaries["m.stamp"].hits}
+        assert "derived" in labels

@@ -43,7 +43,7 @@ class TestSuppression:
 
 
                 def stamp():
-                    return time.time()  # flocheck: disable=FLC001
+                    return time.time()  # flocheck: disable=FLC001 -- test fixture
                 """,
         })
         report = Checker(root, baseline=Baseline()).run()
@@ -58,7 +58,7 @@ class TestSuppression:
 
 
                 def stamp():
-                    return time.time()  # flocheck: disable=all
+                    return time.time()  # flocheck: disable=all -- test fixture
                 """,
         })
         report = Checker(root, baseline=Baseline()).run()
@@ -72,11 +72,152 @@ class TestSuppression:
 
 
                 def stamp():
-                    return time.time()  # flocheck: disable=FLC005
+                    return time.time()  # flocheck: disable=FLC005 -- test fixture
                 """,
         })
         report = Checker(root, baseline=Baseline()).run()
         assert [d.rule_id for d in report.new_findings] == ["FLC001"]
+
+
+# Built by concatenation so this file never contains a literal
+# reasonless suppression — the --include-tests sweep scans this very
+# file, and the hygiene scan is line-based.
+REASONLESS_SUPPRESS = "# " + "flocheck: disable="
+
+
+class TestSuppressionHygiene:
+    REASONLESS = {
+        "net/mod.py": f"""\
+            import time
+
+
+            def stamp():
+                return time.time()  {REASONLESS_SUPPRESS}FLC001
+            """,
+    }
+
+    def test_reasonless_comment_is_inert(self, tmp_path):
+        """A suppression without '-- <reason>' does not suppress."""
+        root = write_package(tmp_path, self.REASONLESS)
+        report = Checker(root, baseline=Baseline()).run()
+        assert "FLC001" in [d.rule_id for d in report.new_findings]
+        assert report.suppressed == []
+
+    def test_reasonless_comment_emits_flc099(self, tmp_path):
+        root = write_package(tmp_path, self.REASONLESS)
+        report = Checker(root, baseline=Baseline()).run()
+        hygiene = [d for d in report.new_findings if d.rule_id == "FLC099"]
+        assert len(hygiene) == 1
+        assert "reason" in hygiene[0].message
+
+    def test_flc099_cannot_be_suppressed(self, tmp_path):
+        root = write_package(tmp_path, {
+            "net/mod.py": f"""\
+                import time
+
+
+                def stamp():
+                    return time.time()  {REASONLESS_SUPPRESS}all
+                """,
+        })
+        report = Checker(root, baseline=Baseline()).run()
+        assert "FLC099" in [d.rule_id for d in report.new_findings]
+
+    def test_reasoned_comment_emits_nothing(self, tmp_path):
+        root = write_package(tmp_path, {
+            "net/mod.py": """\
+                import time
+
+
+                def stamp():
+                    return time.time()  # flocheck: disable=FLC001 -- test fixture
+                """,
+        })
+        report = Checker(root, baseline=Baseline()).run()
+        assert report.new_findings == []
+
+    def test_suppression_records_capture_reason_state(self, tmp_path):
+        root = write_package(tmp_path, {
+            "net/mod.py": f"""\
+                import time
+
+
+                def good():
+                    return time.time()  {REASONLESS_SUPPRESS}FLC001 -- test fixture
+
+
+                def bad():
+                    return time.time()  {REASONLESS_SUPPRESS}FLC001
+                """,
+        })
+        report = Checker(root, baseline=Baseline()).run()
+        records = {
+            record.line: record
+            for relpath, record in report.suppression_records
+        }
+        assert len(records) == 2
+        well_formed = [r for r in records.values() if r.well_formed]
+        assert len(well_formed) == 1
+        assert well_formed[0].reason == "test fixture"
+        assert all("FLC001" in r.ids for r in records.values())
+
+
+class TestExtraRoots:
+    EXTERNAL = {
+        # FLC001 (wall-clock) material AND FLC007 (global mutation)
+        # material in one external file
+        "test_thing.py": """\
+            import time
+
+            _CACHE = {}
+
+
+            def test_records():
+                _CACHE["at"] = time.time()
+            """,
+    }
+
+    def write_external(self, tmp_path):
+        extra = tmp_path / "tests"
+        extra.mkdir()
+        for relpath, source in self.EXTERNAL.items():
+            (extra / relpath).write_text(textwrap.dedent(source))
+        return extra
+
+    def test_external_modules_get_relaxed_rule_subset(self, tmp_path):
+        root = write_package(tmp_path, {"net/mod.py": "X = 1\n"})
+        extra = self.write_external(tmp_path)
+        report = Checker(
+            root, baseline=Baseline(), extra_roots=[extra]
+        ).run()
+        external = [
+            d for d in report.new_findings if d.path.startswith("tests/")
+        ]
+        rules = {d.rule_id for d in external}
+        assert "FLC007" in rules  # relaxed subset still runs
+        assert "FLC001" not in rules  # full subset does not
+
+    def test_corpus_directories_are_excluded(self, tmp_path):
+        root = write_package(tmp_path, {"net/mod.py": "X = 1\n"})
+        extra = self.write_external(tmp_path)
+        corpus = extra / "corpus" / "case_a"
+        corpus.mkdir(parents=True)
+        (corpus / "mutant.py").write_text("import time\nT = time.time()\n")
+        report = Checker(
+            root, baseline=Baseline(), extra_roots=[extra]
+        ).run()
+        assert not any(
+            "corpus" in d.path for d in report.new_findings
+        )
+
+    def test_missing_extra_root_is_config_error(self, tmp_path):
+        root = write_package(tmp_path, {"net/mod.py": "X = 1\n"})
+        with pytest.raises(ConfigError):
+            Checker(
+                root,
+                baseline=Baseline(),
+                extra_roots=[tmp_path / "nope"],
+            )
 
 
 class TestBaseline:
@@ -268,8 +409,9 @@ class TestCliCheck:
     def test_list_rules(self, capsys):
         assert cli_main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("FLC001", "FLC002", "FLC003",
-                        "FLC004", "FLC005", "FLC006"):
+        for rule_id in ("FLC001", "FLC002", "FLC003", "FLC004",
+                        "FLC005", "FLC006", "FLC007", "FLC008",
+                        "FLC009", "FLC010", "FLC011"):
             assert rule_id in out
 
     def test_stale_baseline_fails_strict_only(self, tmp_path, capsys):
@@ -295,3 +437,29 @@ class TestCliCheck:
         import repro.core
         core_dir = repro.core.__file__.rsplit("/", 1)[0]
         assert cli_main(["check", core_dir]) == 0
+
+    def test_sarif_and_show_suppressed(self, tmp_path, capsys):
+        out = tmp_path / "flocheck.sarif"
+        assert cli_main(
+            ["check", "--strict", "--sarif", str(out), "--show-suppressed"]
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["tool"]["driver"]["name"] == "flocheck"
+        text = capsys.readouterr().out
+        # every in-tree suppression is listed, with its reason
+        assert "suppression" in text
+        assert "NO REASON" not in text
+
+    def test_graph_mode(self, capsys):
+        assert cli_main(["check", "--graph"]) == 0
+        out = capsys.readouterr().out
+        assert "functions" in out
+        assert "spawn entrypoints" in out
+
+    def test_include_tests_widens_the_sweep(self, capsys):
+        assert cli_main(["check", "--strict", "--include-tests"]) == 0
+        out = capsys.readouterr().out
+        # the widened sweep checks strictly more modules than the package
+        modules = int(out.split(" modules checked")[0].rsplit(None, 1)[-1])
+        assert modules > 150

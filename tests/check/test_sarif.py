@@ -1,0 +1,155 @@
+"""Structural checks on the SARIF 2.1.0 exporter.
+
+CI additionally validates the emitted document against the published
+2.1.0 JSON schema (see ``.github/workflows/ci.yml``); these tests pin
+the flocheck-specific mapping decisions that the schema cannot: the
+``src/`` URI prefix, 1-based columns, suppression kinds, and pseudo-rule
+registration.
+"""
+
+import json
+
+import pytest
+
+from repro.check.diagnostics import Diagnostic, Severity
+from repro.check.engine import CheckReport
+from repro.check.rules import all_rules
+from repro.check.sarif import report_to_sarif, write_sarif
+
+
+def diag(rule="FLC003", path="repro/core/link.py", severity=Severity.WARNING):
+    return Diagnostic(
+        rule_id=rule,
+        severity=severity,
+        path=path,
+        line=12,
+        col=4,
+        message="rate compared without units",
+        hint="wrap it in units.mbps()",
+        line_content="if rate > cap:",
+    )
+
+
+def sarif_for(report):
+    return report_to_sarif(report, package_name="repro")
+
+
+class TestDocumentShape:
+    def test_version_and_schema(self):
+        doc = sarif_for(CheckReport())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        assert len(doc["runs"]) == 1
+
+    def test_driver_registers_every_rule_and_pseudo_rules(self):
+        doc = sarif_for(CheckReport())
+        ids = [row["id"] for row in doc["runs"][0]["tool"]["driver"]["rules"]]
+        for rule in all_rules():
+            assert rule.rule_id in ids
+        assert "FLC000" in ids
+        assert "FLC099" in ids
+        assert len(ids) == len(set(ids))
+
+    def test_rule_index_points_at_the_right_row(self):
+        report = CheckReport(new_findings=[diag()])
+        doc = sarif_for(report)
+        run = doc["runs"][0]
+        result = run["results"][0]
+        row = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert row["id"] == result["ruleId"] == "FLC003"
+
+
+class TestResultMapping:
+    def test_package_path_gains_src_prefix(self):
+        doc = sarif_for(CheckReport(new_findings=[diag()]))
+        location = doc["runs"][0]["results"][0]["locations"][0]
+        artifact = location["physicalLocation"]["artifactLocation"]
+        assert artifact["uri"] == "src/repro/core/link.py"
+        assert artifact["uriBaseId"] == "%SRCROOT%"
+
+    def test_root_relative_path_is_untouched(self):
+        report = CheckReport(
+            new_findings=[diag(path="tests/fleet/test_pool.py")]
+        )
+        doc = sarif_for(report)
+        location = doc["runs"][0]["results"][0]["locations"][0]
+        uri = location["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "tests/fleet/test_pool.py"
+
+    def test_column_is_one_based(self):
+        doc = sarif_for(CheckReport(new_findings=[diag()]))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region == {"startLine": 12, "startColumn": 5}
+
+    def test_severity_maps_to_level(self):
+        report = CheckReport(
+            new_findings=[diag(severity=Severity.ERROR)],
+        )
+        doc = sarif_for(report)
+        assert doc["runs"][0]["results"][0]["level"] == "error"
+
+    def test_hint_is_folded_into_message(self):
+        doc = sarif_for(CheckReport(new_findings=[diag()]))
+        text = doc["runs"][0]["results"][0]["message"]["text"]
+        assert "rate compared without units" in text
+        assert "units.mbps()" in text
+
+
+class TestSuppressions:
+    def test_new_findings_carry_no_suppression(self):
+        doc = sarif_for(CheckReport(new_findings=[diag()]))
+        assert "suppressions" not in doc["runs"][0]["results"][0]
+
+    def test_baselined_findings_are_externally_suppressed(self):
+        doc = sarif_for(CheckReport(baselined=[diag()]))
+        suppressions = doc["runs"][0]["results"][0]["suppressions"]
+        assert [s["kind"] for s in suppressions] == ["external"]
+
+    def test_comment_suppressed_findings_are_in_source(self):
+        doc = sarif_for(CheckReport(suppressed=[diag()]))
+        suppressions = doc["runs"][0]["results"][0]["suppressions"]
+        assert [s["kind"] for s in suppressions] == ["inSource"]
+
+    def test_all_three_buckets_serialise_together(self):
+        report = CheckReport(
+            new_findings=[diag()],
+            baselined=[diag(rule="FLC001")],
+            suppressed=[diag(rule="FLC005")],
+        )
+        doc = sarif_for(report)
+        assert len(doc["runs"][0]["results"]) == 3
+
+
+class TestWriteSarif:
+    def test_written_file_is_stable_json(self, tmp_path):
+        out = tmp_path / "flocheck.sarif"
+        report = CheckReport(new_findings=[diag()])
+        write_sarif(report, str(out))
+        write_sarif(report, str(out))  # idempotent
+        loaded = json.loads(out.read_text())
+        assert loaded["version"] == "2.1.0"
+        assert loaded["runs"][0]["results"][0]["ruleId"] == "FLC003"
+
+
+@pytest.mark.skipif(
+    pytest.importorskip("jsonschema", reason="jsonschema unavailable")
+    is None,
+    reason="jsonschema unavailable",
+)
+class TestSchemaSpotChecks:
+    """Offline sanity: the bits CI's full-schema validation would catch."""
+
+    def test_every_result_has_required_members(self):
+        report = CheckReport(
+            new_findings=[diag()],
+            baselined=[diag(rule="FLC001")],
+        )
+        for result in sarif_for(report)["runs"][0]["results"]:
+            assert isinstance(result["message"]["text"], str)
+            assert result["level"] in ("error", "warning", "note", "none")
+            for location in result["locations"]:
+                region = location["physicalLocation"]["region"]
+                assert region["startLine"] >= 1
+                assert region["startColumn"] >= 1
