@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Exact-vs-sketch router state ablation: memory bound and accuracy.
+
+Three measurements, recorded in ``BENCH_sketch.json``:
+
+1. **Churn memory** — drive the router's path-state tier with up to 10^6
+   distinct path identifiers (the ``PathChurnFloodSource`` pressure,
+   minus the packet plumbing) under ``tracemalloc`` and record peak
+   traced memory per backend: unbounded exact state grows linearly with
+   identifier count; the sketch backend must stay flat at its configured
+   budget no matter how many identifiers churn past.
+2. **Fold/seed accuracy** — fold known per-path rate EWMAs into
+   :class:`~repro.sketch.BoundedPathState` tiers of several widths and
+   read them back, reporting mean/max absolute seed error and collision
+   rate per memory budget (the measured estimate-error side of the
+   sketch's memory guarantee).
+3. **End-to-end guarantee error** — one seed-pinned state-exhaustion
+   campaign executed per backend at the same path budget; the worst
+   fault-free-window legitimate share difference is the price the
+   bounded tier pays on the paper's differential guarantee.
+
+``--ci`` shrinks the identifier counts ~10x, writes
+``BENCH_sketch.ci.json``, and turns the sketch-backend memory bound
+into a hard gate: exit 1 if sketch-mode peak traced memory exceeds
+``--memory-budget-mb`` (default 64) or grows with identifier count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sketch_bench.py [--ci] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.sketch import BoundedPathState
+
+#: Identifier counts per churn arm.  Exact-unbounded is capped at 10^5
+#: identifiers — the point of that arm is the slope, and a million live
+#: _PathState objects is exactly the blow-up the sketch tier exists to
+#: avoid.
+FULL_COUNTS = {
+    "exact-unbounded": (10_000, 100_000),
+    "exact-lru": (10_000, 100_000, 1_000_000),
+    "sketch": (10_000, 100_000, 1_000_000),
+}
+CI_COUNTS = {
+    "exact-unbounded": (10_000, 50_000),
+    "exact-lru": (10_000, 100_000),
+    "sketch": (10_000, 100_000, 1_000_000),
+}
+
+#: Path budget shared by the bounded arms (exact-lru hot set = sketch
+#: hot tier) and the end-to-end campaigns.
+PATH_BUDGET = 1024
+
+#: ValueSketch widths for the accuracy sweep (columns; memory per tier
+#: scales linearly with width).
+ACCURACY_WIDTHS = (1024, 4096, 16384)
+ACCURACY_PATHS = 50_000
+
+
+def _policy(backend: str, bounded: bool) -> FLocPolicy:
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=10.0, buffer=50)
+    engine = Engine(topo, seed=1)
+    kwargs = {}
+    if backend == "sketch":
+        kwargs = dict(state_backend="sketch", sketch_hot_paths=PATH_BUDGET)
+    elif bounded:
+        kwargs = dict(max_tracked_paths=PATH_BUDGET)
+    policy = FLocPolicy(FLocConfig(**kwargs))
+    policy.attach(topo.link("a", "b"), engine)
+    return policy
+
+
+def churn_arm(arm: str, n_ids: int) -> dict:
+    """Touch ``n_ids`` distinct path identifiers; report peak memory."""
+    policy = _policy(
+        "sketch" if arm == "sketch" else "exact",
+        bounded=arm == "exact-lru",
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    for i in range(n_ids):
+        policy._path_state((10_000_000 + i, 1), tick=i)
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "arm": arm,
+        "path_ids": n_ids,
+        "peak_traced_mb": round(peak / 2**20, 3),
+        "tracked_paths": len(policy.paths),
+        "evictions": policy.eviction_stats["memory-pressure"],
+        "seconds": round(seconds, 3),
+    }
+
+
+def accuracy_arm(width: int, n_paths: int) -> dict:
+    """Fold known rates, seed them back, measure the estimate error."""
+    tier = BoundedPathState(width, depth=4)
+    for i in range(n_paths):
+        tier.fold_path((i,), lambda_rate=float(i % 50) / 10.0,
+                       rtt_ewma=20.0, conformance=0.5)
+    abs_errors = []
+    for i in range(0, n_paths, max(1, n_paths // 2000)):
+        seeded = tier.seed_path((i,))
+        assert seeded is not None
+        abs_errors.append(abs(seeded[0] - float(i % 50) / 10.0))
+    return {
+        "sketch_width": width,
+        "memory_mb": round(tier.memory_bytes / 2**20, 3),
+        "folded_paths": n_paths,
+        "mean_abs_error_pkts_per_tick": round(
+            sum(abs_errors) / len(abs_errors), 4
+        ),
+        "max_abs_error_pkts_per_tick": round(max(abs_errors), 4),
+        "collision_rate": round(tier.collisions_total / n_paths, 4),
+        "fill_ratio": round(tier.lambda_sketch.fill_ratio(), 4),
+    }
+
+
+def end_to_end_arm() -> dict:
+    """Same exhaustion campaign per backend at one path budget."""
+    from repro.chaos.campaign import execute_campaign
+    from repro.chaos.slo import impact_interval, _overlaps  # noqa: F401
+    from repro.chaos.spec import exhaustion_campaign
+
+    shares = {}
+    for backend in ("exact", "sketch"):
+        spec = exhaustion_campaign(
+            0, 0, state_backend=backend, max_tracked_paths=PATH_BUDGET
+        )
+        m = execute_campaign(spec)
+        shares[backend] = round(
+            min(w.legit_share for w in m.windows), 4
+        )
+    return {
+        "path_budget": PATH_BUDGET,
+        "worst_window_legit_share": shares,
+        "guarantee_error": round(shares["exact"] - shares["sketch"], 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ci", action="store_true",
+                        help="smaller counts, hard memory gate, "
+                             "BENCH_sketch.ci.json default output")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument("--memory-budget-mb", type=float, default=64.0,
+                        help="--ci gate: max sketch-arm peak traced MiB")
+    args = parser.parse_args(argv)
+    out = args.out or ("BENCH_sketch.ci.json" if args.ci else
+                       "BENCH_sketch.json")
+    counts = CI_COUNTS if args.ci else FULL_COUNTS
+
+    churn = []
+    for arm, sizes in counts.items():
+        for n_ids in sizes:
+            row = churn_arm(arm, n_ids)
+            churn.append(row)
+            print(json.dumps(row), file=sys.stderr)
+
+    accuracy = [
+        accuracy_arm(width, ACCURACY_PATHS) for width in ACCURACY_WIDTHS
+    ]
+    end_to_end = None if args.ci else end_to_end_arm()
+
+    sketch_rows = [r for r in churn if r["arm"] == "sketch"]
+    sketch_peaks = [r["peak_traced_mb"] for r in sketch_rows]
+    payload = {
+        "schema": 1,
+        "mode": "ci" if args.ci else "full",
+        "path_budget": PATH_BUDGET,
+        "churn_memory": churn,
+        "sketch_peak_mb_at_max_ids": sketch_peaks[-1],
+        "accuracy_per_budget": accuracy,
+        "end_to_end": end_to_end,
+        "note": (
+            "peak_traced_mb is tracemalloc peak for the churn loop only; "
+            "exact-unbounded grows with path_ids, the sketch arm must "
+            "not (bounded-memory contract)"
+        ),
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+
+    if args.ci:
+        # hard gates: flat sketch memory across a 100x identifier range,
+        # and an absolute ceiling
+        worst = max(sketch_peaks)
+        if worst > args.memory_budget_mb:
+            print(
+                f"GATE FAIL: sketch peak {worst} MiB > budget "
+                f"{args.memory_budget_mb} MiB",
+                file=sys.stderr,
+            )
+            return 1
+        if sketch_peaks[-1] > sketch_peaks[0] * 1.5 + 1.0:
+            print(
+                f"GATE FAIL: sketch peak grew with identifier count "
+                f"({sketch_peaks[0]} -> {sketch_peaks[-1]} MiB)",
+                file=sys.stderr,
+            )
+            return 1
+        print("memory gates passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from ..traffic.adaptive import (
     AdaptiveShrewSource,
     FluidRateRandomizer,
 )
+from ..traffic.churn import PathChurnFloodSource
 from ..traffic.scenarios import DST_HUB, ROOT, TreeScenario, build_tree_scenario
 from .slo import SloReport, WindowShare, evaluate_slos, settle_ticks
 from .spec import AttackerSpec, CampaignSpec
@@ -79,6 +80,12 @@ class Measurements:
     #: NOT part of the run digest: telemetry is observation-only, and the
     #: digest contract predates it.
     drop_provenance: Dict[str, float] = field(default_factory=dict)
+    #: Policy state-pressure measurements for the ``bounded_state``
+    #: oracle (packet campaigns).  Like drop provenance, deliberately NOT
+    #: part of the run digest — the digest contract predates them, and a
+    #: default exact-mode campaign must keep its historical digest.
+    eviction_stats: Dict[str, int] = field(default_factory=dict)
+    tracked_paths_peak: int = 0
 
 
 @dataclass
@@ -200,6 +207,15 @@ def _add_packet_squad(
                 path_id_pool=pool,
                 adapt_interval=max(1, spec.window_ticks // 2),
             )
+        elif squad.kind == "churn-flood":
+            # state-exhaustion adversary: period_ticks is the churn
+            # interval; identifiers are drawn from a large fresh space
+            source = PathChurnFloodSource(
+                flow,
+                rate=rate,
+                churn_interval=squad.period_ticks or spec.window_ticks // 2,
+                id_space=1_000_000,
+            )
         else:
             phase = 0
             if squad.kind == "wave":
@@ -227,14 +243,22 @@ def _execute_packet(spec: CampaignSpec) -> Measurements:
     # link_flap fault takes the root.0 uplink down (same arrangement as
     # the robustness_faults experiment)
     scenario.topology.add_duplex_link("root.0", "root.1", capacity=None)
-    scenario.attach_policy(
-        FLocPolicy(
-            FLocConfig(
-                s_max=CHAOS_S_MAX,
-                restart_warmup_ticks=settle_ticks(spec),
-            )
+    cfg_kwargs: Dict[str, Any] = {}
+    if spec.state_backend != "exact":
+        cfg_kwargs["state_backend"] = spec.state_backend
+    if spec.max_tracked_paths is not None:
+        # one budget knob for either backend: the exact mode's LRU bound
+        # and the sketch mode's hot-tier size
+        cfg_kwargs["max_tracked_paths"] = spec.max_tracked_paths
+        cfg_kwargs["sketch_hot_paths"] = spec.max_tracked_paths
+    policy = FLocPolicy(
+        FLocConfig(
+            s_max=CHAOS_S_MAX,
+            restart_warmup_ticks=settle_ticks(spec),
+            **cfg_kwargs,
         )
     )
+    scenario.attach_policy(policy)
 
     leaves = list(scenario.as_of_leaf)
     attack_pids = set(scenario.attack_path_ids)
@@ -295,6 +319,8 @@ def _execute_packet(spec: CampaignSpec) -> Measurements:
         drop_provenance=_provenance_delta(
             provenance_before, tel.drop_provenance()
         ),
+        eviction_stats=dict(policy.eviction_stats),
+        tracked_paths_peak=policy.tracked_paths_peak,
     )
     measurements.digest = run_digest(spec, measurements)
     return measurements
@@ -427,5 +453,7 @@ def run_campaign(
         measurements.sanitizer_violations,
         replay_matched,
         drop_provenance=measurements.drop_provenance or None,
+        eviction_stats=measurements.eviction_stats or None,
+        tracked_paths_peak=measurements.tracked_paths_peak,
     )
     return CampaignResult(spec=spec, measurements=measurements, report=report)

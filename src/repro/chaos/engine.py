@@ -25,7 +25,13 @@ from ..runner.supervisor import JobReport, UnitContext
 from .artifact import write_artifact
 from .campaign import run_campaign
 from .shrink import shrink_campaign
-from .spec import SIMULATORS, CampaignSpec, SloSpec, sample_campaign
+from .spec import (
+    SIMULATORS,
+    CampaignSpec,
+    SloSpec,
+    exhaustion_campaign,
+    sample_campaign,
+)
 
 
 @dataclass
@@ -40,11 +46,23 @@ class ChaosOptions:
     shrink: bool = True
     max_shrink_trials: int = 64
     artifact_dir: Optional[str] = "chaos-artifacts"
+    #: Extra state-exhaustion campaigns (path-churn flood vs a bounded
+    #: memory budget) appended after the sampled ones; 0 = none.
+    exhaustion: int = 0
+    #: Router state backend for the exhaustion campaigns.
+    state_backend: str = "sketch"
+    #: Hard per-router path budget for the exhaustion campaigns; None
+    #: leaves the backend's default hot-tier size in charge.
+    max_tracked_paths: Optional[int] = None
 
     def validate(self) -> None:
         if self.campaigns < 1:
             raise ConfigError(
                 f"campaigns must be >= 1, got {self.campaigns}"
+            )
+        if self.exhaustion < 0:
+            raise ConfigError(
+                f"exhaustion must be >= 0, got {self.exhaustion}"
             )
         if self.simulator not in SIMULATORS + ("both",):
             raise ConfigError(
@@ -171,6 +189,25 @@ def build_chaos_units(
                 ),
             )
         )
+    for index in range(options.exhaustion):
+        spec = exhaustion_campaign(
+            options.seed,
+            index,
+            slo=options.slo,
+            state_backend=options.state_backend,
+            max_tracked_paths=options.max_tracked_paths,
+        )
+        units.append(
+            (
+                f"exhaustion-{index:03d}",
+                CampaignJob(
+                    spec,
+                    shrink=options.shrink,
+                    max_shrink_trials=options.max_shrink_trials,
+                    artifact_dir=options.artifact_dir,
+                ),
+            )
+        )
     return units
 
 
@@ -196,5 +233,11 @@ def run_chaos(
         "simulator": options.simulator,
         "include_silent": options.include_silent,
     }
+    if options.exhaustion:
+        # keyed in only when requested so pre-existing sweep checkpoints
+        # keep their fingerprints
+        fingerprint["exhaustion"] = options.exhaustion
+        fingerprint["state_backend"] = options.state_backend
+        fingerprint["max_tracked_paths"] = options.max_tracked_paths
     job = runner.run_units(units, job_fingerprint=fingerprint)
     return ChaosReport(job=job, specs=[unit[1].spec for unit in units])

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 from .spec import CampaignSpec, FaultSpec
 
 #: Oracle names, in evaluation (and severity-of-report) order.
-SLO_NAMES = ("floor", "recovery", "sanitizer", "replay")
+SLO_NAMES = ("floor", "recovery", "sanitizer", "replay", "bounded_state")
 
 
 @dataclass(frozen=True)
@@ -234,12 +234,63 @@ def _replay_verdict(replay_matched: Optional[bool]) -> SloVerdict:
     )
 
 
+def _bounded_state_verdict(
+    spec: CampaignSpec,
+    windows: List[WindowShare],
+    eviction_stats: Optional[Dict[str, int]],
+    tracked_paths_peak: int,
+) -> SloVerdict:
+    """Degradation SLO: the differential-guarantee floor for long-lived
+    legitimate paths must survive identifier churn at a fixed memory
+    budget, and the budget itself must actually hold.
+
+    Judged over the same fault-excused windows as the ``floor`` oracle
+    (churn pressure is the adversary under test, not a fault), against
+    ``slo.bounded_floor`` — deliberately separate from ``slo.floor`` so
+    bounded-memory campaigns can state how much degradation eviction
+    pressure is allowed to cost.
+    """
+    if spec.slo.bounded_floor is None:
+        return SloVerdict(
+            "bounded_state", True, "skipped: no bounded-state floor set"
+        )
+    evictions = (eviction_stats or {}).get("memory-pressure", 0)
+    budget = spec.max_tracked_paths
+    intervals = [impact_interval(f, spec) for f in spec.faults]
+    judged = [
+        w for w in windows if not any(_overlaps(w, iv) for iv in intervals)
+    ]
+    if not judged:
+        return SloVerdict(
+            "bounded_state", True, "skipped: every window overlaps a fault"
+        )
+    worst = min(judged, key=_share_key)
+    ok = worst.legit_share >= spec.slo.bounded_floor
+    budget_detail = ""
+    if budget is not None:
+        within = tracked_paths_peak <= budget
+        ok = ok and within
+        budget_detail = (
+            f"; peak tracked paths {tracked_paths_peak} vs budget "
+            f"{budget}" + ("" if within else " EXCEEDED")
+        )
+    return SloVerdict(
+        "bounded_state",
+        ok,
+        f"min legit share {worst.legit_share:.4f} in window {worst.index} "
+        f"vs bounded floor {spec.slo.bounded_floor:.4f} under "
+        f"{evictions} memory-pressure eviction(s)" + budget_detail,
+    )
+
+
 def evaluate_slos(
     spec: CampaignSpec,
     windows: List[WindowShare],
     sanitizer_violations: int,
     replay_matched: Optional[bool] = None,
     drop_provenance: Optional[Dict[str, float]] = None,
+    eviction_stats: Optional[Dict[str, int]] = None,
+    tracked_paths_peak: int = 0,
 ) -> SloReport:
     """Judge one campaign run against its full SLO catalog.
 
@@ -247,6 +298,8 @@ def evaluate_slos(
     (see :meth:`repro.telemetry.Telemetry.drop_provenance`); when given,
     the floor verdict's detail attributes the loss to its top causes.
     Provenance never changes a verdict's ``ok`` — it annotates.
+    ``eviction_stats`` / ``tracked_paths_peak`` are the policy's state-
+    pressure measurements feeding the ``bounded_state`` oracle.
     """
     return SloReport(
         verdicts=[
@@ -254,5 +307,8 @@ def evaluate_slos(
             _recovery_verdict(spec, windows),
             _sanitizer_verdict(spec, sanitizer_violations),
             _replay_verdict(replay_matched),
+            _bounded_state_verdict(
+                spec, windows, eviction_stats, tracked_paths_peak
+            ),
         ]
     )

@@ -48,17 +48,27 @@ WINDOWED_FAULT_KINDS = ("link_flap", "link_degrade")
 #: violated by construction); ``include_silent=True`` opts back in.
 SILENT_FAULT_KINDS = ("counter_corruption",)
 
-#: Attacker squad kinds on the packet engine.
-PACKET_ATTACKER_KINDS = ("cbr", "shrew", "wave")
+#: Attacker squad kinds on the packet engine.  ``churn-flood`` is the
+#: state-exhaustion adversary (:class:`repro.traffic.PathChurnFloodSource`):
+#: it attacks router *memory* by rotating path identifiers, so it only
+#: enters the default sample space via :func:`exhaustion_campaign` —
+#: adding it to the seed-pinned generic sampler would silently reshuffle
+#: every shipped sweep.
+PACKET_ATTACKER_KINDS = ("cbr", "shrew", "wave", "churn-flood")
+#: The generic sampler's packet squad pool (seed-pinned; see above).
+SAMPLED_PACKET_ATTACKER_KINDS = ("cbr", "shrew", "wave")
 #: Attacker behaviours on the fluid simulator (one bot population,
 #: behaviour toggles only).
 FLUID_ATTACKER_KINDS = ("fluid-bots",)
 
 #: Mutations each attacker kind understands (order = sampling order).
+#: ``churn-flood`` has none: unconditional cadence churn *is* its whole
+#: behaviour (``period_ticks`` is the churn interval).
 ATTACKER_MUTATIONS: Dict[str, Tuple[str, ...]] = {
     "cbr": ("rerandomize", "churn"),
     "shrew": ("rephase", "rerandomize"),
     "wave": ("rephase", "rerandomize"),
+    "churn-flood": (),
     "fluid-bots": ("rerandomize",),
 }
 
@@ -182,6 +192,11 @@ class AttackerSpec:
                 raise ConfigError(
                     f"on_fraction must be in (0, 1], got {self.on_fraction}"
                 )
+        if self.kind == "churn-flood" and self.period_ticks < 1:
+            raise ConfigError(
+                f"churn-flood needs period_ticks >= 1 (the churn "
+                f"interval), got {self.period_ticks}"
+            )
         allowed = ATTACKER_MUTATIONS[self.kind]
         for name in self.mutations:
             if name not in allowed:
@@ -211,7 +226,13 @@ class SloSpec:
       campaign (``"record"`` only reports; ``"off"`` skips installation);
     * **replay-identical** — with ``verify_replay=True`` the campaign is
       executed twice from the same spec and the two run digests must be
-      byte-identical.
+      byte-identical;
+    * **bounded-state** — with ``bounded_floor`` set, the legitimate
+      share must stay at or above it in every fault-free window *and*
+      the policy's peak tracked-path count must respect the campaign's
+      ``max_tracked_paths`` budget — the differential-guarantee floor
+      for long-lived legitimate paths under identifier churn at a fixed
+      memory budget (``None`` skips the oracle).
     """
 
     floor: float = 0.2
@@ -219,11 +240,18 @@ class SloSpec:
     recovery_slack_ticks: int = 150
     sanitize: str = "strict"
     verify_replay: bool = True
+    bounded_floor: Optional[float] = None
 
     def validate(self) -> None:
         if not 0.0 <= self.floor <= 1.0:
             raise ConfigError(
                 f"floor must be in [0, 1], got {self.floor}"
+            )
+        if self.bounded_floor is not None and not (
+            0.0 <= self.bounded_floor <= 1.0
+        ):
+            raise ConfigError(
+                f"bounded_floor must be in [0, 1], got {self.bounded_floor}"
             )
         if self.epsilon < 0:
             raise ConfigError(
@@ -254,6 +282,13 @@ class CampaignSpec:
     faults: Tuple[FaultSpec, ...] = ()
     attackers: Tuple[AttackerSpec, ...] = ()
     slo: SloSpec = field(default_factory=SloSpec)
+    #: Router state backend for the campaign's FLoc policy ("exact" or
+    #: "sketch"); packet simulator only.
+    state_backend: str = "exact"
+    #: Hot-tier path budget handed to the policy (``max_tracked_paths``
+    #: in exact mode, ``sketch_hot_paths`` in sketch mode); ``None``
+    #: keeps the config defaults (exact: unbounded).
+    max_tracked_paths: Optional[int] = None
 
     @property
     def total_ticks(self) -> int:
@@ -298,19 +333,46 @@ class CampaignSpec:
                 )
         for attacker in self.attackers:
             attacker.validate(self.simulator)
+        if self.state_backend not in ("exact", "sketch"):
+            raise ConfigError(
+                f"state_backend must be 'exact' or 'sketch', got "
+                f"{self.state_backend!r}"
+            )
+        if self.max_tracked_paths is not None and self.max_tracked_paths < 1:
+            raise ConfigError(
+                f"max_tracked_paths must be >= 1, got "
+                f"{self.max_tracked_paths}"
+            )
+        if self.simulator == "fluid" and self.state_backend != "exact":
+            raise ConfigError(
+                "the fluid simulator's state is bounded by its AS count; "
+                "state_backend='sketch' only applies to the packet engine"
+            )
         self.slo.validate()
 
     # ------------------------------------------------------------------
     # serialization (replay artifacts)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-safe dict that :meth:`from_dict` round-trips exactly."""
+        """A JSON-safe dict that :meth:`from_dict` round-trips exactly.
+
+        Fields added after PR 4 (``state_backend``, ``max_tracked_paths``,
+        ``slo.bounded_floor``) are omitted at their defaults: the dict
+        feeds :func:`repro.chaos.campaign.run_digest`, so a default spec
+        must serialize byte-identically to the shipped replay artifacts.
+        """
         out = asdict(self)
         out["faults"] = [asdict(f) for f in self.faults]
         out["attackers"] = [
             dict(asdict(a), mutations=list(a.mutations))
             for a in self.attackers
         ]
+        if self.state_backend == "exact":
+            del out["state_backend"]
+        if self.max_tracked_paths is None:
+            del out["max_tracked_paths"]
+        if self.slo.bounded_floor is None:
+            del out["slo"]["bounded_floor"]
         return out
 
     @classmethod
@@ -334,6 +396,8 @@ class CampaignSpec:
                 faults=faults,
                 attackers=attackers,
                 slo=slo,
+                state_backend=data.get("state_backend", "exact"),
+                max_tracked_paths=data.get("max_tracked_paths"),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigError(f"malformed campaign spec: {exc}") from None
@@ -423,7 +487,7 @@ def _sample_attackers(
         )
     squads: List[AttackerSpec] = []
     for _ in range(rng.randint(1, 2)):
-        kind = rng.choice(list(PACKET_ATTACKER_KINDS))
+        kind = rng.choice(list(SAMPLED_PACKET_ATTACKER_KINDS))
         allowed = ATTACKER_MUTATIONS[kind]
         mutations = tuple(
             name for name in allowed if rng.random() < 0.6
@@ -480,6 +544,65 @@ def sample_campaign(
         faults=_sample_faults(rng, backend, shape, include_silent),
         attackers=_sample_attackers(rng, backend, shape),
         slo=slo if slo is not None else default_slo(backend),
+    )
+    spec.validate()
+    return spec
+
+
+#: Default differential-guarantee floor for long-lived legitimate paths
+#: under identifier churn at a bounded memory budget.  Deliberately
+#: below the fault-free ``floor`` default: eviction pressure is allowed
+#: to degrade the guarantee, not to collapse it.
+DEFAULT_BOUNDED_FLOOR = 0.1
+
+#: Hot-tier budget handed to exhaustion campaigns (small enough that the
+#: churn adversary forces sustained evictions at chaos scale).
+DEFAULT_EXHAUSTION_BUDGET = 64
+
+
+def exhaustion_campaign(
+    seed: int,
+    index: int,
+    slo: Optional[SloSpec] = None,
+    state_backend: str = "sketch",
+    max_tracked_paths: Optional[int] = None,
+) -> CampaignSpec:
+    """Sample state-exhaustion campaign ``index``, deterministically.
+
+    A separate sampler rather than a new kind in the generic pool so the
+    shipped seed-pinned sweeps stay byte-identical.  Every campaign runs
+    on the packet engine, fields a ``churn-flood`` squad under a small
+    hot-tier budget, and is judged by the ``bounded_state`` oracle (the
+    ``bounded_floor`` default is :data:`DEFAULT_BOUNDED_FLOOR`).
+    """
+    rng = chaos_rng(seed, f"exhaustion-{index}")
+    shape = PACKET_SHAPE
+    budget = (
+        max_tracked_paths
+        if max_tracked_paths is not None
+        else DEFAULT_EXHAUSTION_BUDGET
+    )
+    squads = (
+        AttackerSpec(
+            kind="churn-flood",
+            bots=rng.randint(2, 4),
+            rate_mbps=rng.uniform(1.5, 2.5),
+            period_ticks=rng.choice((25, 50, 75)),
+        ),
+    )
+    base_slo = slo if slo is not None else default_slo("packet")
+    if base_slo.bounded_floor is None:
+        base_slo = replace(base_slo, bounded_floor=DEFAULT_BOUNDED_FLOOR)
+    spec = CampaignSpec(
+        seed=seed * 1_000_003 + index,
+        simulator="packet",
+        warmup_ticks=shape["warmup_ticks"],
+        window_ticks=shape["window_ticks"],
+        n_windows=shape["n_windows"],
+        attackers=squads,
+        slo=base_slo,
+        state_backend=state_backend,
+        max_tracked_paths=budget,
     )
     spec.validate()
     return spec

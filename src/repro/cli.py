@@ -538,6 +538,9 @@ def _chaos(args) -> int:
         shrink=not args.no_shrink,
         max_shrink_trials=args.max_shrink_trials,
         artifact_dir=args.artifact_dir,
+        exhaustion=args.exhaustion,
+        state_backend=args.state_backend,
+        max_tracked_paths=args.max_paths,
     )
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
     from .telemetry import use
@@ -568,15 +571,20 @@ def _chaos(args) -> int:
             )
         if store is None:
             store = CheckpointStore(tempfile.mkdtemp(prefix="repro-fleet-"))
-        store.check_job(
-            {
-                "kind": "chaos-sweep",
-                "seed": args.seed,
-                "campaigns": args.campaigns,
-                "simulator": args.simulator,
-                "include_silent": args.include_silent,
-            }
-        )
+        fingerprint = {
+            "kind": "chaos-sweep",
+            "seed": args.seed,
+            "campaigns": args.campaigns,
+            "simulator": args.simulator,
+            "include_silent": args.include_silent,
+        }
+        if options.exhaustion:
+            # same conditional keying as run_chaos: pre-existing sweep
+            # checkpoints keep their fingerprints
+            fingerprint["exhaustion"] = options.exhaustion
+            fingerprint["state_backend"] = options.state_backend
+            fingerprint["max_tracked_paths"] = options.max_tracked_paths
+        store.check_job(fingerprint)
         mode = getattr(args, "telemetry", "off")
         # default conviction: fast (5s) under a fault plan — the
         # heartbeat pulse runs on its own thread, so 5s of silence from
@@ -628,11 +636,12 @@ def _chaos(args) -> int:
             )
     _export_telemetry(args, tel)
     rows = []
-    for i, campaign in enumerate(report.campaigns):
+    unit_names = sorted(report.job.results)
+    for name, campaign in zip(unit_names, report.campaigns):
         violated = [v[0] for v in campaign["verdicts"] if v[1] != "ok"]
         rows.append(
             [
-                f"campaign-{i:03d}",
+                name,
                 campaign["simulator"],
                 "ok" if campaign["ok"] else "VIOLATED " + ",".join(violated),
                 campaign["digest"][:12],
@@ -927,6 +936,17 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="override the sanitizer SLO mode "
                             "(default: strict)")
+    chaos.add_argument("--exhaustion", type=int, default=0, metavar="N",
+                       help="append N state-exhaustion campaigns (path-churn "
+                            "flood vs a bounded memory budget, judged by the "
+                            "bounded_state SLO)")
+    chaos.add_argument("--state-backend", choices=("exact", "sketch"),
+                       default="sketch",
+                       help="router state backend for --exhaustion "
+                            "campaigns (default: sketch)")
+    chaos.add_argument("--max-paths", type=int, default=None, metavar="N",
+                       help="hard per-router tracked-path budget for "
+                            "--exhaustion campaigns")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="report violations without delta-debugging them")
     chaos.add_argument("--max-shrink-trials", type=int, default=64,

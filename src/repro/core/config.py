@@ -13,6 +13,10 @@ from typing import Dict, Optional
 
 from ..errors import ConfigError
 
+#: Per-path state backends: exact dicts (historical behaviour) or the
+#: bounded sketch tier of :mod:`repro.sketch`.
+STATE_BACKENDS = ("exact", "sketch")
+
 
 @dataclass
 class FLocConfig:
@@ -106,6 +110,22 @@ class FLocConfig:
     #: least-recently-active path is evicted (its state regenerates from
     #: live traffic, like after a partial restart).  ``None`` = unbounded.
     max_tracked_paths: Optional[int] = None
+    #: Per-path state backend.  ``"exact"`` (default) keeps one exact
+    #: ``_PathState`` per path — byte-identical to the historical
+    #: behaviour.  ``"sketch"`` hard-bounds memory: at most
+    #: ``sketch_hot_paths`` exact states, with evicted paths folded into
+    #: the fixed-size :class:`repro.sketch.BoundedPathState` tier and
+    #: seeded back (approximately) when their traffic returns.
+    state_backend: str = "exact"
+    #: Hot-tier budget in sketch mode: the number of exact per-path
+    #: states kept before LRU eviction folds the victim into the sketch.
+    sketch_hot_paths: int = 1024
+    #: Columns per sketch row; together with ``sketch_depth`` this fixes
+    #: the sketch tier's memory at configuration time (five float64
+    #: arrays of ``depth x width`` plus an ``8 x width``-bit Bloom).
+    sketch_width: int = 4096
+    #: Independent hash rows per sketch (blake2b-derived).
+    sketch_depth: int = 4
     #: Per-domain bandwidth weights (origin AS -> weight).  The paper's
     #: footnote 1: "for different domains having different numbers of
     #: sources, proportional rather than equal bandwidth allocation can be
@@ -151,6 +171,23 @@ class FLocConfig:
         if self.max_tracked_paths is not None and self.max_tracked_paths < 1:
             raise ConfigError(
                 f"max_tracked_paths must be >= 1, got {self.max_tracked_paths}"
+            )
+        if self.state_backend not in STATE_BACKENDS:
+            raise ConfigError(
+                f"state_backend must be one of {STATE_BACKENDS}, got "
+                f"{self.state_backend!r}"
+            )
+        if self.sketch_hot_paths < 1:
+            raise ConfigError(
+                f"sketch_hot_paths must be >= 1, got {self.sketch_hot_paths}"
+            )
+        if self.sketch_width < 8:
+            raise ConfigError(
+                f"sketch_width must be >= 8, got {self.sketch_width}"
+            )
+        if not 1 <= self.sketch_depth <= 16:
+            raise ConfigError(
+                f"sketch_depth must be in [1, 16], got {self.sketch_depth}"
             )
         if not 0.0 < self.attack_mtd_fraction <= 1.0:
             raise ConfigError(

@@ -50,6 +50,9 @@ class ConformanceTracker:
         """Snapshot of all tracked conformance values."""
         return dict(self._values)
 
+    def __len__(self) -> int:
+        return len(self._values)
+
     def partition(
         self, pids: Iterable[PathId], threshold: float
     ) -> Tuple[list, list]:
@@ -65,6 +68,18 @@ class ConformanceTracker:
     def forget(self, pid: PathId) -> None:
         """Drop state for a path that disappeared."""
         self._values.pop(pid, None)
+
+    def known_value(self, pid: PathId) -> "float | None":
+        """Tracked conformance of ``pid``, or ``None`` if never updated —
+        unlike :meth:`value`, which hides the distinction behind the
+        fully-conformant default."""
+        return self._values.get(pid)
+
+    def seed(self, pid: PathId, value: float) -> None:
+        """Install a prior estimate for an untracked path (sketch-tier
+        revival after an eviction); existing values are never clobbered."""
+        if pid not in self._values:
+            self._values[pid] = min(1.0, max(0.0, value))
 
     @staticmethod
     def classify_value(value: float, threshold: float) -> str:

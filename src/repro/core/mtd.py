@@ -76,6 +76,12 @@ class FlowDropTracker:
             return INFINITE_MTD
         return min(window, self.horizon) / drops
 
+    def drop_count(self, key: Hashable) -> int:
+        """All retained drops of ``key`` (horizon-pruned lazily; callers
+        folding state into the sketch tier want the full retained mass)."""
+        dq = self._drops.get(key)
+        return len(dq) if dq else 0
+
     def forget(self, key: Hashable) -> None:
         """Discard the drop record of one unit (fault-injected state loss)."""
         self._drops.pop(key, None)

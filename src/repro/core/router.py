@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import copy
 import random
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..net.packet import DATA, SYN, Packet
 from ..net.policy import LinkPolicy
+from ..sketch import BoundedPathState
 from ..tcp import model
 from .aggregation import AggregationPlan, build_plan, plan_moves
 from .capability import CapabilityIssuer
@@ -135,6 +137,21 @@ class FLocPolicy(LinkPolicy):
         self.plan = AggregationPlan()
         self._blocked: Dict[Hashable, int] = {}
         self._initial_rtt = 12.0
+        # LRU index over tracked paths, maintained only when a path limit
+        # is active.  ``self.paths`` itself stays a plain insertion-order
+        # dict: group member lists are built by iterating it, and their
+        # order feeds float sums, so recency-reordering the main dict
+        # would silently change exact-mode results.
+        self._lru: "OrderedDict[PathId, None]" = OrderedDict()
+        # sketch-backend overflow tier (None in exact mode)
+        self.sketch: Optional[BoundedPathState] = None
+        if self.cfg.state_backend == "sketch":
+            self.sketch = BoundedPathState(
+                self.cfg.sketch_width, self.cfg.sketch_depth
+            )
+        # experiment bookkeeping (like drop_stats, survives restarts)
+        self.eviction_stats: Dict[str, int] = {"memory-pressure": 0, "restart": 0}
+        self.tracked_paths_peak = 0
         # drop-cause counters, for experiments and tests
         self.drop_stats = {
             "spoofed": 0,
@@ -206,7 +223,7 @@ class FLocPolicy(LinkPolicy):
 
     def _admit_syn(self, pkt: Packet, tick: int) -> bool:
         pid = pkt.path_id
-        state = self._path_state(pid)
+        state = self._path_state(pid, tick)
         pkt.capability = self.issuer.issue(pkt.src_addr, pkt.dst_addr, pid)
         state.syn_ticks[pkt.flow_id] = tick
         return True
@@ -214,7 +231,7 @@ class FLocPolicy(LinkPolicy):
     def _admit_data(self, pkt: Packet, tick: int) -> bool:
         cfg = self.cfg
         pid = pkt.path_id
-        state = self._path_state(pid)
+        state = self._path_state(pid, tick)
 
         if cfg.capability_checks and not self.issuer.verify(
             pkt.capability, pkt.src_addr, pkt.dst_addr, pid
@@ -365,6 +382,14 @@ class FLocPolicy(LinkPolicy):
         for pid in dead_paths:
             del self.paths[pid]
             self.conformance.forget(pid)
+            self._lru.pop(pid, None)
+
+        # expire elapsed blocks eagerly: entries whose unblock tick has
+        # passed admit identically either way, but units that never send
+        # again (churned-away identifiers) must not pin memory forever
+        expired_blocks = [k for k, t in self._blocked.items() if tick >= t]
+        for k in expired_blocks:
+            del self._blocked[k]
 
         self._rebuild_groups(tick)
 
@@ -404,6 +429,10 @@ class FLocPolicy(LinkPolicy):
             for key in state.flows:
                 if self.tracker is not None:
                     mtd_value = self.tracker.mtd(key, tick, window)
+                    if self.sketch is not None:
+                        mtd_value = self._sketch_clamped_mtd(
+                            mtd_value, key, window
+                        )
                     blocked = self.classifier.should_block(mtd_value, ref)
                     is_attack = self.classifier.is_attack_flow(mtd_value, ref)
                 else:
@@ -507,11 +536,25 @@ class FLocPolicy(LinkPolicy):
         if self.tracker is not None:
             self.tracker.forget_stale(tick)
 
+        if self.sketch is not None:
+            # exponential forgetting of folded drop history: half-life of
+            # one measurement interval keeps revived MTD clamps honest
+            self.sketch.decay_drops(0.5)
+
         if tel.enabled:
             reg = tel.registry
             reg.gauge("floc_paths_count").set(float(len(self.paths)))
             reg.gauge("floc_groups_count").set(float(len(self.groups)))
             reg.gauge("floc_blocked_units_count").set(float(len(self._blocked)))
+            if self.sketch is not None:
+                stats = self.sketch.stats()
+                reg.gauge("sketch_memory_bytes").set(stats["memory_bytes"])
+                reg.gauge("sketch_folds_count").set(stats["folds"])
+                reg.gauge("sketch_revivals_count").set(stats["revivals"])
+                reg.gauge("sketch_collisions_count").set(stats["collisions"])
+                reg.gauge("sketch_fold_error_pkts_per_tick").set(
+                    stats["fold_abs_error_total"]
+                )
 
     def _aggregate(self, tick: int) -> None:
         cfg = self.cfg
@@ -549,6 +592,13 @@ class FLocPolicy(LinkPolicy):
                             path_id=moved_pid, old_group=old_key,
                             new_group=new_key,
                         )
+        if self.sketch is not None:
+            # remember every live fill before the rebuild recreates the
+            # buckets: an aggregation pass must not refill the attackers
+            for key, group in self.groups.items():
+                self.sketch.fold_bucket(
+                    key, group.bucket.tokens / max(group.bucket.size, 1e-9)
+                )
         self.groups.clear()
         self._rebuild_groups(tick)
 
@@ -606,7 +656,13 @@ class FLocPolicy(LinkPolicy):
                     n_flows = max(1, round(estimate))
             group = self.groups.get(key)
             if group is None or group.members != members:
+                if group is not None and self.sketch is not None:
+                    self.sketch.fold_bucket(
+                        key,
+                        group.bucket.tokens / max(group.bucket.size, 1e-9),
+                    )
                 bucket = PathTokenBucket(bandwidth, rtt, n_flows, now=tick)
+                self._seed_bucket_fill(key, bucket)
                 group = _GroupState(key, members, shares[key], bucket, bandwidth)
                 self.groups[key] = group
             else:
@@ -617,44 +673,139 @@ class FLocPolicy(LinkPolicy):
         live = set(members_of)
         for key in list(self.groups):
             if key not in live:
+                if self.sketch is not None:
+                    group = self.groups[key]
+                    self.sketch.fold_bucket(
+                        key,
+                        group.bucket.tokens / max(group.bucket.size, 1e-9),
+                    )
                 del self.groups[key]
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _path_state(self, pid: PathId) -> _PathState:
+    def _path_limit(self) -> Optional[int]:
+        """Hot-tier size cap: the sketch backend's budget, or the
+        explicit ``max_tracked_paths`` bound (``None`` = unbounded)."""
+        if self.sketch is not None:
+            return self.cfg.sketch_hot_paths
+        return self.cfg.max_tracked_paths
+
+    def _path_state(self, pid: PathId, tick: int = 0) -> _PathState:
         state = self.paths.get(pid)
+        limit = self._path_limit()
         if state is None:
-            limit = self.cfg.max_tracked_paths
             if limit is not None and len(self.paths) >= limit:
-                self._evict_path()
+                self._evict_path(tick)
             state = _PathState(pid, self._initial_rtt)
+            if self.sketch is not None:
+                seeded = self.sketch.seed_path(pid)
+                if seeded is not None:
+                    # sketch-tier revival: a previously evicted path
+                    # resumes from its (approximate) earned history
+                    # instead of cold defaults
+                    lam, rtt, conf = seeded
+                    state.lambda_rate = lam
+                    if rtt > 0.0:
+                        state.rtt_ewma = rtt
+                    if conf is not None:
+                        self.conformance.seed(pid, conf)
             self.paths[pid] = state
+            if limit is not None:
+                self._lru[pid] = None
+            if len(self.paths) > self.tracked_paths_peak:
+                self.tracked_paths_peak = len(self.paths)
+        elif limit is not None:
+            # pop + reinsert = move_to_end without a KeyError hazard
+            self._lru.pop(pid, None)
+            self._lru[pid] = None
         return state
 
-    def _evict_path(self) -> None:
-        """Memory pressure: drop the least-recently-active path's state.
+    def _evict_path(self, tick: int) -> None:
+        """Memory pressure: drop the least-recently-touched path, O(1).
 
-        The evicted path is not punished — if its traffic continues, its
-        state regenerates from scratch exactly as after a partial restart
-        (flows re-register, RTT re-estimates from the next SYN).
+        In exact mode the evicted path is not punished — if its traffic
+        continues, its state regenerates from scratch exactly as after a
+        partial restart (flows re-register, RTT re-estimates from the
+        next SYN).  In sketch mode its decision-relevant scalars are
+        folded into the bounded tier first and seeded back on revival.
+        Either way *all* collateral per-path state is released: MTD drop
+        records, blocks, and group membership must not outlive the path
+        (the Section V-B drop filter is hash-indexed and has no per-path
+        entries to release).
         """
-        victim = min(self.paths, key=lambda p: self.paths[p].last_arrival)
-        del self.paths[victim]
-        self.conformance.forget(victim)
+        if self._lru:
+            victim, _ = self._lru.popitem(last=False)
+        else:
+            victim = min(self.paths, key=lambda p: self.paths[p].last_arrival)
+        state = self.paths.pop(victim)
+        self._release_path(victim, state, tick, cause="memory-pressure")
+
+    def _release_path(
+        self, pid: PathId, state: _PathState, tick: int, cause: str
+    ) -> None:
+        """Fold (sketch mode) and free every trace of an evicted path."""
+        if self.sketch is not None:
+            self.sketch.fold_path(
+                pid,
+                state.lambda_rate,
+                state.rtt_ewma,
+                self.conformance.known_value(pid),
+            )
+        self.conformance.forget(pid)
+        for key in state.flows:
+            if self.tracker is not None:
+                if self.sketch is not None:
+                    drops = self.tracker.drop_count(key)
+                    if drops:
+                        self.sketch.fold_unit_drops(key, float(drops))
+                self.tracker.forget(key)
+            self._blocked.pop(key, None)
+        group_key = self.plan.group(pid)
+        group = self.groups.get(group_key)
+        if group is not None and pid in group.members:
+            group.members.remove(pid)
+            if not group.members:
+                if self.sketch is not None:
+                    self.sketch.fold_bucket(
+                        group_key,
+                        group.bucket.tokens / max(group.bucket.size, 1e-9),
+                    )
+                del self.groups[group_key]
+        self.eviction_stats[cause] = self.eviction_stats.get(cause, 0) + 1
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.registry.labeled("path_evictions_by_cause_count").inc(cause)
+            if tel.trace_enabled:
+                tel.emit_event(
+                    tick, "path_evict", "policy",
+                    path_id=pid, cause=cause,
+                    backend=self.cfg.state_backend,
+                )
 
     def _group_state(self, pid: PathId, tick: int) -> _GroupState:
         key = self.plan.group(pid)
         group = self.groups.get(key)
         if group is None:
-            state = self._path_state(pid)
+            state = self._path_state(pid, tick)
             n_paths = max(1, len(self.paths))
             bandwidth = self.capacity / n_paths
             rtt = max(1.0, state.rtt_ewma * self.cfg.rtt_correction)
             bucket = PathTokenBucket(bandwidth, rtt, state.n_flows, now=tick)
+            self._seed_bucket_fill(key, bucket)
             group = _GroupState(key, [pid], 1.0, bucket, bandwidth)
             self.groups[key] = group
         return group
+
+    def _seed_bucket_fill(self, key: Tuple, bucket: PathTokenBucket) -> None:
+        """Sketch mode: a re-created group's bucket resumes from its
+        remembered fill fraction instead of a free full refill — churning
+        identifiers must not mint fresh token capacity."""
+        if self.sketch is None:
+            return
+        fill = self.sketch.seed_bucket(key)
+        if fill is not None:
+            bucket.tokens = min(bucket.tokens, fill * bucket.size)
 
     def _group_flows(self, group: _GroupState) -> int:
         return max(
@@ -691,7 +842,22 @@ class FLocPolicy(LinkPolicy):
             if excess <= 0:
                 return INFINITE_MTD
             return ref / (1.0 + excess)
-        return self.tracker.mtd(key, tick, window)
+        mtd_value = self.tracker.mtd(key, tick, window)
+        if self.sketch is not None:
+            mtd_value = self._sketch_clamped_mtd(mtd_value, key, window)
+        return mtd_value
+
+    def _sketch_clamped_mtd(
+        self, exact_mtd: float, key: Hashable, window: int
+    ) -> float:
+        """Sketch mode: a unit's folded (pre-eviction) drop history keeps
+        bounding its MTD from above, so evicting a path under memory
+        pressure does not launder its own units' drop records when the
+        same unit returns."""
+        est = self.sketch.unit_drop_estimate(key) if self.sketch else 0.0
+        if est >= 1.0:
+            return min(exact_mtd, window / est)
+        return exact_mtd
 
     # ------------------------------------------------------------------
     # fault tolerance: checkpointing, restart, partial state loss
@@ -704,6 +870,10 @@ class FLocPolicy(LinkPolicy):
         "groups",
         "plan",
         "_blocked",
+        "_lru",
+        "sketch",
+        "eviction_stats",
+        "tracked_paths_peak",
         "drop_stats",
         "_pending_drop_cause",
         "_warmup_until",
@@ -760,7 +930,30 @@ class FLocPolicy(LinkPolicy):
             raise SimulationError(
                 "restart before attach; the policy has no runtime state yet"
             )
+        lost = len(self.paths)
+        if lost:
+            self.eviction_stats["restart"] = (
+                self.eviction_stats.get("restart", 0) + lost
+            )
+            tel = self.engine.telemetry
+            if tel.enabled:
+                tel.registry.labeled("path_evictions_by_cause_count").inc(
+                    "restart", lost
+                )
+                if tel.trace_enabled:
+                    tel.emit_event(
+                        tick, "path_evict", "policy",
+                        cause="restart", count=lost,
+                        backend=self.cfg.state_backend,
+                    )
         self.paths.clear()
+        self._lru.clear()
+        if self.sketch is not None:
+            # the sketch tier is volatile router memory too: a cold
+            # restart loses it along with the exact state
+            self.sketch = BoundedPathState(
+                self.cfg.sketch_width, self.cfg.sketch_depth
+            )
         self.groups.clear()
         self.plan = AggregationPlan()
         self._blocked.clear()
@@ -796,6 +989,7 @@ class FLocPolicy(LinkPolicy):
         for pid in [p for p in self.paths if rng.random() < fraction]:
             del self.paths[pid]
             self.conformance.forget(pid)
+            self._lru.pop(pid, None)
         for key in [k for k in self._blocked if rng.random() < fraction]:
             del self._blocked[key]
         if self.tracker is not None:

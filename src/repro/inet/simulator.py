@@ -291,7 +291,23 @@ class FluidSimulator:
         admits neutrally (uniform random drop, like ``nd``), after which
         FLoc resumes from cold estimates.  No-op effect for the stateless
         ``nd``/``ff`` strategies beyond clearing the FLoc-only arrays.
+
+        Unlike the packet router, fluid per-AS state is bounded by the
+        scenario's AS count, so restart is the only eviction cause here;
+        it reports through the same telemetry channel as the packet
+        policy's ``path_evict`` for cross-simulator comparison.
         """
+        lost = len(self.conformance)
+        tel = self.telemetry
+        if tel.enabled and lost:
+            tel.registry.labeled("path_evictions_by_cause_count").inc(
+                "restart", lost
+            )
+            if tel.trace_enabled:
+                tel.emit_event(
+                    now, "path_evict", "policy",
+                    cause="restart", count=lost, backend="fluid",
+                )
         self.conformance = ConformanceTracker(beta=0.2)
         self._plan = None
         self._group_index = None

@@ -1,0 +1,199 @@
+"""Count-min sketch primitives with deterministic blake2b hashing.
+
+Index derivation mirrors :func:`repro.core.dropfilter._indices`: one
+blake2b digest per key yields ``depth`` independent 4-byte row offsets.
+Hashing a key is therefore a pure function of ``repr(key)`` — no seeds,
+no RNG, no process-dependent state — which keeps every estimate
+reproducible across runs, checkpoint restores, and spawn workers.
+
+:class:`CountMinSketch` is the classic overestimating counter sketch
+with optional *conservative update* (only the cells that currently hold
+the minimum are raised), which tightens the one-sided error
+substantially under skewed workloads.
+
+:class:`ValueSketch` estimates a per-key *weighted mean* from two
+aligned count-min arrays (weight and weight*value).  The readout picks
+the row whose weight cell is smallest — the least-collided view of the
+key — and returns ``wsum / weight`` there.  Collisions therefore blend
+a key's value toward other keys hashing into the same cells instead of
+inflating it without bound, which is the right failure mode for EWMAs,
+RTT estimates, and bucket fill fractions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Inclusive bounds accepted for sketch geometry; the width floor keeps
+#: the modulo bias of the 4-byte row offsets negligible and the depth
+#: cap bounds the digest to blake2b's 64-byte maximum.
+MIN_WIDTH = 8
+MAX_DEPTH = 16
+
+
+def sketch_indices(key: Hashable, depth: int, width: int) -> Tuple[int, ...]:
+    """``depth`` deterministic row offsets for ``key`` in ``[0, width)``."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=4 * depth).digest()
+    return tuple(
+        int.from_bytes(digest[4 * i : 4 * i + 4], "big") % width
+        for i in range(depth)
+    )
+
+
+def _validate_geometry(width: int, depth: int) -> None:
+    if width < MIN_WIDTH:
+        raise ConfigError(f"sketch width must be >= {MIN_WIDTH}, got {width}")
+    if not 1 <= depth <= MAX_DEPTH:
+        raise ConfigError(
+            f"sketch depth must be in [1, {MAX_DEPTH}], got {depth}"
+        )
+
+
+class CountMinSketch:
+    """Conservative-update count-min sketch over float counts.
+
+    Estimates are one-sided: ``estimate(key) >= true_count`` always (for
+    non-negative adds and no decay), with overestimation bounded by the
+    collision mass per row.  ``scale`` multiplies every cell — the
+    exponential-decay hook the router uses to age drop history.
+    """
+
+    def __init__(
+        self, width: int, depth: int = 4, conservative: bool = True
+    ) -> None:
+        _validate_geometry(width, depth)
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._cells = np.zeros((depth, width), dtype=np.float64)
+
+    def add(self, key: Hashable, value: float = 1.0) -> float:
+        """Add ``value`` to ``key``; returns the post-update estimate."""
+        rows = sketch_indices(key, self.depth, self.width)
+        if self.conservative and value > 0.0:
+            current = min(
+                float(self._cells[i, j]) for i, j in enumerate(rows)
+            )
+            target = current + value
+            for i, j in enumerate(rows):
+                if float(self._cells[i, j]) < target:
+                    self._cells[i, j] = target
+            return target
+        for i, j in enumerate(rows):
+            self._cells[i, j] += value
+        return min(float(self._cells[i, j]) for i, j in enumerate(rows))
+
+    def estimate(self, key: Hashable) -> float:
+        rows = sketch_indices(key, self.depth, self.width)
+        return min(float(self._cells[i, j]) for i, j in enumerate(rows))
+
+    def scale(self, factor: float) -> None:
+        """Multiply every cell (exponential decay for ``factor`` < 1)."""
+        if factor < 0.0:
+            raise ConfigError(f"scale factor must be >= 0, got {factor}")
+        self._cells *= factor
+
+    def reset(self) -> None:
+        self._cells.fill(0.0)
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._cells.nbytes)
+
+    def fill_ratio(self) -> float:
+        """Fraction of non-zero cells (collision-pressure indicator)."""
+        return float(np.count_nonzero(self._cells)) / float(self._cells.size)
+
+
+class ValueSketch:
+    """Per-key weighted-mean estimator from aligned count-min arrays."""
+
+    def __init__(self, width: int, depth: int = 4) -> None:
+        _validate_geometry(width, depth)
+        self.width = width
+        self.depth = depth
+        self._weight = np.zeros((depth, width), dtype=np.float64)
+        self._wsum = np.zeros((depth, width), dtype=np.float64)
+
+    def fold(
+        self,
+        key: Hashable,
+        value: float,
+        weight: float = 1.0,
+        rows: Optional[Tuple[int, ...]] = None,
+    ) -> float:
+        """Blend ``value`` (mass ``weight``) into ``key``'s cells.
+
+        Returns the post-fold estimate so callers can measure the
+        readback error ``|estimate - value|`` introduced by collisions.
+        ``rows`` lets a caller holding several same-geometry sketches
+        compute :func:`sketch_indices` once and share it.
+        """
+        if weight <= 0.0:
+            raise ConfigError(f"fold weight must be > 0, got {weight}")
+        if rows is None:
+            rows = sketch_indices(key, self.depth, self.width)
+        for i, j in enumerate(rows):
+            self._weight[i, j] += weight
+            self._wsum[i, j] += weight * value
+        return self._estimate_rows(rows, default=value)
+
+    def estimate(
+        self,
+        key: Hashable,
+        default: Optional[float] = None,
+        rows: Optional[Tuple[int, ...]] = None,
+    ) -> Optional[float]:
+        """Weighted-mean estimate for ``key``; ``default`` when unseen."""
+        if rows is None:
+            rows = sketch_indices(key, self.depth, self.width)
+        return self._estimate_rows(rows, default)
+
+    def collided(
+        self, key: Hashable, rows: Optional[Tuple[int, ...]] = None
+    ) -> bool:
+        """Whether every one of ``key``'s cells already holds mass."""
+        if rows is None:
+            rows = sketch_indices(key, self.depth, self.width)
+        return all(float(self._weight[i, j]) > 0.0 for i, j in enumerate(rows))
+
+    def _estimate_rows(
+        self, rows: Tuple[int, ...], default: Optional[float]
+    ) -> Optional[float]:
+        best_w = 0.0
+        best_sum = 0.0
+        seen = False
+        for i, j in enumerate(rows):
+            w = float(self._weight[i, j])
+            if w <= 0.0:
+                return default
+            if not seen or w < best_w:
+                best_w = w
+                best_sum = float(self._wsum[i, j])
+                seen = True
+        if not seen or best_w <= 0.0:
+            return default
+        return best_sum / best_w
+
+    def scale(self, factor: float) -> None:
+        """Decay all mass; the means survive, their confidence fades."""
+        if factor < 0.0:
+            raise ConfigError(f"scale factor must be >= 0, got {factor}")
+        self._weight *= factor
+        self._wsum *= factor
+
+    def reset(self) -> None:
+        self._weight.fill(0.0)
+        self._wsum.fill(0.0)
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self._weight.nbytes) + int(self._wsum.nbytes)
+
+    def fill_ratio(self) -> float:
+        return float(np.count_nonzero(self._weight)) / float(self._weight.size)

@@ -30,6 +30,7 @@ from .adaptive import (
     AdaptiveShrewSource,
     FluidRateRandomizer,
 )
+from .churn import PathChurnFloodSource
 from .trace import PacketSizeDistribution
 from .scenarios import TreeScenario, build_tree_scenario
 
@@ -41,6 +42,7 @@ __all__ = [
     "AdaptiveCbrSource",
     "AdaptiveShrewSource",
     "FluidRateRandomizer",
+    "PathChurnFloodSource",
     "PacketSizeDistribution",
     "TreeScenario",
     "build_tree_scenario",

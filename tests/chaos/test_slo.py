@@ -9,6 +9,7 @@ from repro.chaos import (
     evaluate_slos,
 )
 from repro.chaos.slo import (
+    SLO_NAMES,
     impact_interval,
     recovery_deadline,
     settle_ticks,
@@ -149,6 +150,73 @@ class TestReport:
 
     def test_rows_cover_all_slos(self):
         report = evaluate_slos(spec_with(), windows([0.9] * 6), 0)
-        assert [r[0] for r in report.rows()] == [
-            "floor", "recovery", "sanitizer", "replay"
-        ]
+        assert [r[0] for r in report.rows()] == list(SLO_NAMES)
+
+
+class TestBoundedStateOracle:
+    def bounded_spec(self, floor=0.3, max_paths=None, faults=()):
+        return CampaignSpec(
+            seed=0,
+            simulator="packet",
+            warmup_ticks=100,
+            window_ticks=50,
+            n_windows=6,
+            faults=tuple(faults),
+            attackers=(AttackerSpec(kind="churn-flood", period_ticks=25),),
+            slo=SloSpec(floor=0.5, bounded_floor=floor),
+            state_backend="sketch",
+            max_tracked_paths=max_paths,
+        )
+
+    def test_no_bounded_floor_skips(self):
+        report = evaluate_slos(spec_with(), windows([0.9] * 6), 0)
+        verdict = [v for v in report.verdicts if v.slo == "bounded_state"][0]
+        assert verdict.ok and "skipped" in verdict.detail
+
+    def test_share_above_bounded_floor_passes(self):
+        report = evaluate_slos(
+            self.bounded_spec(),
+            windows([0.6] * 6),
+            0,
+            eviction_stats={"memory-pressure": 500},
+            tracked_paths_peak=64,
+        )
+        assert not report.violates("bounded_state")
+
+    def test_share_below_bounded_floor_fails(self):
+        report = evaluate_slos(
+            self.bounded_spec(floor=0.4),
+            windows([0.6, 0.6, 0.1, 0.6, 0.6, 0.6]),
+            0,
+            eviction_stats={"memory-pressure": 500},
+        )
+        assert report.violates("bounded_state")
+
+    def test_budget_exceeded_fails_even_with_good_share(self):
+        report = evaluate_slos(
+            self.bounded_spec(max_paths=64),
+            windows([0.9] * 6),
+            0,
+            tracked_paths_peak=65,
+        )
+        assert report.violates("bounded_state")
+        verdict = [v for v in report.verdicts if v.slo == "bounded_state"][0]
+        assert "EXCEEDED" in verdict.detail
+
+    def test_peak_within_budget_passes(self):
+        report = evaluate_slos(
+            self.bounded_spec(max_paths=64),
+            windows([0.9] * 6),
+            0,
+            tracked_paths_peak=64,
+        )
+        assert not report.violates("bounded_state")
+
+    def test_fault_impacted_windows_are_excused(self):
+        spec = self.bounded_spec(
+            floor=0.4,
+            faults=[FaultSpec(kind="router_restart", tick=210)],
+        )
+        shares = [0.9, 0.9, 0.1, 0.1, 0.9, 0.9]
+        report = evaluate_slos(spec, windows(shares), 0)
+        assert not report.violates("bounded_state")

@@ -1,0 +1,189 @@
+"""Bounded router state: LRU eviction, collateral release, sketch tier.
+
+The exact-mode regression locks at the bottom pin chaos run digests so
+the bounded-state machinery provably stays out of the default path:
+``state_backend="exact"`` with no path limit must remain byte-identical
+to the seed behaviour.
+"""
+
+import pytest
+
+from repro.core.config import FLocConfig
+from repro.core.router import FLocPolicy
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+
+
+def attached_policy(cfg):
+    """A policy attached to a minimal one-link engine (no traffic)."""
+    topo = Topology()
+    topo.add_duplex_link("a", "b", capacity=10.0, buffer=50)
+    engine = Engine(topo, seed=1)
+    policy = FLocPolicy(cfg)
+    policy.attach(topo.link("a", "b"), engine)
+    return policy
+
+
+def touch(policy, pid, tick):
+    state = policy._path_state(pid, tick)
+    state.last_arrival = tick
+    return state
+
+
+class TestLruEviction:
+    def test_limit_enforced(self):
+        policy = attached_policy(FLocConfig(max_tracked_paths=3))
+        for i in range(10):
+            touch(policy, (i,), tick=i)
+        assert len(policy.paths) == 3
+        assert policy.tracked_paths_peak == 3
+
+    def test_least_recently_touched_is_victim(self):
+        policy = attached_policy(FLocConfig(max_tracked_paths=3))
+        for i in range(3):
+            touch(policy, (i,), tick=i)
+        # re-touch path 0 so path 1 becomes the LRU victim
+        touch(policy, (0,), tick=10)
+        touch(policy, (3,), tick=11)
+        assert set(policy.paths) == {(0,), (2,), (3,)}
+
+    def test_eviction_counted_by_cause(self):
+        policy = attached_policy(FLocConfig(max_tracked_paths=2))
+        for i in range(5):
+            touch(policy, (i,), tick=i)
+        assert policy.eviction_stats["memory-pressure"] == 3
+        assert policy.eviction_stats["restart"] == 0
+
+    def test_unbounded_default_never_evicts(self):
+        policy = attached_policy(FLocConfig())
+        for i in range(200):
+            touch(policy, (i,), tick=i)
+        assert len(policy.paths) == 200
+        assert policy.eviction_stats["memory-pressure"] == 0
+        assert not policy._lru  # LRU index only maintained under a limit
+
+    def test_restart_counts_lost_paths(self):
+        policy = attached_policy(FLocConfig(max_tracked_paths=8))
+        for i in range(5):
+            touch(policy, (i,), tick=i)
+        policy.restart(tick=100)
+        assert policy.eviction_stats["restart"] == 5
+        assert not policy.paths and not policy._lru
+
+
+class TestCollateralRelease:
+    def test_eviction_releases_all_per_path_state(self):
+        policy = attached_policy(FLocConfig(max_tracked_paths=2))
+        state = touch(policy, (0,), tick=0)
+        unit = ("unit-0", 0, (0,))
+        state.flows[unit] = 0
+        policy.tracker.record_drop(unit, tick=1)
+        policy._blocked[unit] = 500
+        policy.conformance.update((0,), 4, 2)
+        policy._group_state((0,), tick=1)
+        group_key = policy.plan.group((0,))
+        assert (0,) in policy.groups[group_key].members
+
+        touch(policy, (1,), tick=2)
+        touch(policy, (2,), tick=3)  # evicts (0,)
+
+        assert (0,) not in policy.paths
+        assert policy.tracker.drop_count(unit) == 0
+        assert policy.tracker.tracked_units() == 0
+        assert unit not in policy._blocked
+        assert policy.conformance.known_value((0,)) is None
+        assert group_key not in policy.groups
+
+    def test_regeneration_matches_partial_restart(self):
+        # an exact-mode evicted path that returns starts cold, exactly
+        # like a fresh path after a partial restart
+        policy = attached_policy(FLocConfig(max_tracked_paths=2))
+        state = touch(policy, (0,), tick=0)
+        state.lambda_rate = 9.0
+        state.rtt_ewma = 33.0
+        touch(policy, (1,), tick=1)
+        touch(policy, (2,), tick=2)  # evicts (0,)
+        reborn = touch(policy, (0,), tick=3)
+        assert reborn.lambda_rate == 0.0
+        assert reborn.rtt_ewma == policy._initial_rtt
+
+
+class TestSketchTier:
+    def cfg(self, hot=2, width=4096):
+        return FLocConfig(
+            state_backend="sketch", sketch_hot_paths=hot, sketch_width=width
+        )
+
+    def test_sketch_backend_allocates_tier(self):
+        policy = attached_policy(self.cfg())
+        assert policy.sketch is not None
+        assert policy.sketch.memory_bytes > 0
+
+    def test_hot_tier_limit_is_sketch_hot_paths(self):
+        policy = attached_policy(self.cfg(hot=3))
+        for i in range(10):
+            touch(policy, (i,), tick=i)
+        assert len(policy.paths) == 3
+
+    def test_revival_seeds_from_folded_history(self):
+        policy = attached_policy(self.cfg())
+        state = touch(policy, (0,), tick=0)
+        state.lambda_rate = 6.0
+        state.rtt_ewma = 28.0
+        policy.conformance.update((0,), 10, 9)
+        conf_at_eviction = policy.conformance.known_value((0,))
+        touch(policy, (1,), tick=1)
+        touch(policy, (2,), tick=2)  # folds and evicts (0,)
+        reborn = touch(policy, (0,), tick=3)
+        assert reborn.lambda_rate == pytest.approx(6.0)
+        assert reborn.rtt_ewma == pytest.approx(28.0)
+        assert policy.conformance.known_value((0,)) == pytest.approx(
+            conf_at_eviction
+        )
+
+    def test_never_seen_path_starts_cold(self):
+        policy = attached_policy(self.cfg())
+        state = touch(policy, (0,), tick=0)
+        assert state.lambda_rate == 0.0
+        assert policy.sketch.revivals_total == 0
+
+    def test_restart_wipes_sketch_tier(self):
+        policy = attached_policy(self.cfg())
+        state = touch(policy, (0,), tick=0)
+        state.lambda_rate = 6.0
+        touch(policy, (1,), tick=1)
+        touch(policy, (2,), tick=2)
+        policy.restart(tick=50)
+        reborn = touch(policy, (0,), tick=60)
+        assert reborn.lambda_rate == 0.0  # volatile memory: no revival
+
+    def test_snapshot_roundtrip_preserves_sketch(self):
+        policy = attached_policy(self.cfg())
+        state = touch(policy, (0,), tick=0)
+        state.lambda_rate = 6.0
+        touch(policy, (1,), tick=1)
+        touch(policy, (2,), tick=2)
+        snap = policy.snapshot()
+        other = attached_policy(self.cfg())
+        other.restore(snap)
+        assert list(other._lru) == list(policy._lru)
+        reborn = other._path_state((0,), 3)
+        assert reborn.lambda_rate == pytest.approx(6.0)
+
+
+class TestExactModeRegressionLock:
+    # digests computed at the seed commit (pre-bounded-state code); the
+    # default exact backend must keep producing them byte-identically
+    PINNED = {
+        0: "02c8e6a1ac9370085fb7b8feb96dad9486533d4d5980a4bf4feb38e93262ea19",
+        1: "73a0d070149ba1202c69ee9e15f47b72635f0218af40ad7e1612f4eebd7c4373",
+    }
+
+    @pytest.mark.parametrize("index", sorted(PINNED))
+    def test_packet_campaign_digest_unchanged(self, index):
+        from repro.chaos.campaign import execute_campaign
+        from repro.chaos.spec import sample_campaign
+
+        spec = sample_campaign(7, index, simulator="packet")
+        assert spec.state_backend == "exact"
+        assert execute_campaign(spec).digest == self.PINNED[index]

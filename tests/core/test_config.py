@@ -34,6 +34,13 @@ class TestValidation:
             {"aggregation_interval": 0},
             {"attack_mtd_fraction": 0.0},
             {"attack_mtd_fraction": 1.5},
+            {"max_tracked_paths": 0},
+            {"state_backend": "bloom"},
+            {"state_backend": "EXACT"},
+            {"sketch_hot_paths": 0},
+            {"sketch_width": 7},
+            {"sketch_depth": 0},
+            {"sketch_depth": 99},
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
@@ -45,3 +52,20 @@ class TestValidation:
         assert cfg.s_max == 25
         assert cfg.n_max == 4
         assert not cfg.preferential_drop
+
+
+class TestStateBackend:
+    def test_exact_is_the_default(self):
+        cfg = FLocConfig()
+        assert cfg.state_backend == "exact"
+        assert cfg.max_tracked_paths is None
+
+    def test_sketch_backend_accepted(self):
+        cfg = FLocConfig(
+            state_backend="sketch",
+            sketch_hot_paths=64,
+            sketch_width=256,
+            sketch_depth=3,
+        )
+        assert cfg.state_backend == "sketch"
+        assert cfg.sketch_hot_paths == 64

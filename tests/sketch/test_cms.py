@@ -1,0 +1,153 @@
+"""Count-min / value sketch primitives: accuracy, bounds, determinism."""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketch import CountMinSketch, ValueSketch, sketch_indices
+from repro.sketch.cms import MAX_DEPTH, MIN_WIDTH
+
+
+class TestIndices:
+    def test_deterministic_across_calls(self):
+        assert sketch_indices(("a", 1), 4, 128) == sketch_indices(
+            ("a", 1), 4, 128
+        )
+
+    def test_rows_within_width(self):
+        for key in range(200):
+            assert all(0 <= j < 64 for j in sketch_indices(key, 4, 64))
+
+    def test_depth_yields_that_many_rows(self):
+        assert len(sketch_indices("k", 7, 64)) == 7
+
+    def test_distinct_keys_rarely_fully_collide(self):
+        seen = {sketch_indices(k, 4, 4096) for k in range(1000)}
+        assert len(seen) == 1000
+
+
+class TestCountMinSketch:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(MIN_WIDTH - 1)
+        with pytest.raises(ConfigError):
+            CountMinSketch(64, depth=0)
+        with pytest.raises(ConfigError):
+            CountMinSketch(64, depth=MAX_DEPTH + 1)
+
+    def test_exact_when_uncollided(self):
+        cms = CountMinSketch(4096, depth=4)
+        for k in range(50):
+            cms.add(k, float(k + 1))
+        for k in range(50):
+            assert cms.estimate(k) == pytest.approx(float(k + 1))
+
+    def test_one_sided_error(self):
+        # overestimate only: estimate >= true count, even under heavy
+        # collision pressure
+        cms = CountMinSketch(8, depth=2)
+        truth = {}
+        for k in range(200):
+            cms.add(k, 1.0)
+            truth[k] = truth.get(k, 0.0) + 1.0
+        for k, true_count in truth.items():
+            assert cms.estimate(k) >= true_count
+
+    def test_conservative_tighter_than_plain(self):
+        plain = CountMinSketch(32, depth=2, conservative=False)
+        cons = CountMinSketch(32, depth=2, conservative=True)
+        for k in range(500):
+            plain.add(k % 100, 1.0)
+            cons.add(k % 100, 1.0)
+        plain_err = sum(plain.estimate(k) - 5.0 for k in range(100))
+        cons_err = sum(cons.estimate(k) - 5.0 for k in range(100))
+        assert cons_err <= plain_err
+
+    def test_add_returns_post_update_estimate(self):
+        cms = CountMinSketch(4096)
+        assert cms.add("k", 3.0) == pytest.approx(3.0)
+        assert cms.add("k", 2.0) == pytest.approx(5.0)
+
+    def test_scale_decays(self):
+        cms = CountMinSketch(64)
+        cms.add("k", 8.0)
+        cms.scale(0.5)
+        assert cms.estimate("k") == pytest.approx(4.0)
+        with pytest.raises(ConfigError):
+            cms.scale(-0.1)
+
+    def test_reset_and_fill_ratio(self):
+        cms = CountMinSketch(64)
+        assert cms.fill_ratio() == 0.0
+        cms.add("k")
+        assert cms.fill_ratio() > 0.0
+        cms.reset()
+        assert cms.estimate("k") == 0.0
+
+    def test_memory_bytes_fixed_by_geometry(self):
+        cms = CountMinSketch(128, depth=4)
+        before = cms.memory_bytes
+        for k in range(10_000):
+            cms.add(k)
+        assert cms.memory_bytes == before == 128 * 4 * 8
+
+    def test_picklable(self):
+        cms = CountMinSketch(64)
+        cms.add("k", 7.0)
+        clone = pickle.loads(pickle.dumps(cms))
+        assert clone.estimate("k") == pytest.approx(7.0)
+
+
+class TestValueSketch:
+    def test_exact_when_uncollided(self):
+        vs = ValueSketch(4096, depth=4)
+        for k in range(50):
+            vs.fold(k, float(k) * 0.1)
+        for k in range(50):
+            assert vs.estimate(k) == pytest.approx(float(k) * 0.1)
+
+    def test_unseen_key_returns_default(self):
+        vs = ValueSketch(64)
+        assert vs.estimate("missing") is None
+        assert vs.estimate("missing", default=1.5) == 1.5
+
+    def test_weighted_mean(self):
+        vs = ValueSketch(4096)
+        vs.fold("k", 1.0, weight=1.0)
+        vs.fold("k", 4.0, weight=3.0)
+        assert vs.estimate("k") == pytest.approx(13.0 / 4.0)
+
+    def test_collision_blends_instead_of_inflating(self):
+        # under total collision the estimate stays inside the folded
+        # value range (a weighted mean), never outside it
+        vs = ValueSketch(8, depth=1)
+        for k in range(100):
+            vs.fold(k, 0.25 if k % 2 else 0.75)
+        for k in range(100):
+            assert 0.25 <= vs.estimate(k) <= 0.75
+
+    def test_fold_weight_validation(self):
+        vs = ValueSketch(64)
+        with pytest.raises(ConfigError):
+            vs.fold("k", 1.0, weight=0.0)
+
+    def test_collided_detection(self):
+        vs = ValueSketch(4096)
+        assert not vs.collided("a")
+        vs.fold("a", 1.0)
+        assert vs.collided("a")
+
+    def test_scale_preserves_mean(self):
+        vs = ValueSketch(64)
+        vs.fold("k", 0.8)
+        vs.scale(0.5)
+        assert vs.estimate("k") == pytest.approx(0.8)
+
+    def test_deepcopy_independent(self):
+        vs = ValueSketch(64)
+        vs.fold("k", 1.0)
+        clone = copy.deepcopy(vs)
+        clone.fold("k", 3.0)
+        assert vs.estimate("k") == pytest.approx(1.0)

@@ -1,0 +1,107 @@
+"""PathChurnFloodSource: the state-exhaustion adversary."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.engine import Engine
+from repro.net.topology import Topology
+from repro.traffic.churn import CHURN_ORIGIN_BASE, PathChurnFloodSource
+
+
+def simple_engine(seed=9):
+    topo = Topology()
+    topo.add_duplex_link("bot", "r0", capacity=None)
+    topo.add_duplex_link("r0", "hub", capacity=None)
+    topo.add_duplex_link("hub", "srv0", capacity=None)
+    return Engine(topo, seed=seed)
+
+
+def churn_source(engine, **kwargs):
+    flow = engine.open_flow("bot", "srv0", path_id=(1, 2), is_attack=True)
+    src = PathChurnFloodSource(flow, rate=1.0, **kwargs)
+    engine.add_source(src)
+    return src
+
+
+class TestValidation:
+    def test_bad_churn_interval_rejected(self):
+        engine = simple_engine()
+        flow = engine.open_flow("bot", "srv0", path_id=(1,), is_attack=True)
+        with pytest.raises(ConfigError):
+            PathChurnFloodSource(flow, rate=1.0, churn_interval=0)
+
+    def test_bad_id_space_rejected(self):
+        engine = simple_engine()
+        flow = engine.open_flow("bot", "srv0", path_id=(1,), is_attack=True)
+        with pytest.raises(ConfigError):
+            PathChurnFloodSource(flow, rate=1.0, id_space=0)
+
+
+class TestChurn:
+    def test_rotates_on_cadence(self):
+        engine = simple_engine()
+        src = churn_source(engine, churn_interval=20, handshake=False)
+        engine.run(105)
+        # first active tick arms the timer; rotations land every 20 ticks
+        assert src.churns == 5
+
+    def test_churned_pid_keeps_tree_suffix(self):
+        engine = simple_engine()
+        src = churn_source(engine, churn_interval=5, handshake=False)
+        engine.run(30)
+        assert src.churns > 0
+        origin = src.flow.path_id[0]
+        assert origin >= CHURN_ORIGIN_BASE
+        assert src.flow.path_id[1:] == (2,)
+
+    def test_distinct_identifiers_under_churn(self):
+        engine = simple_engine()
+        src = churn_source(
+            engine, churn_interval=2, id_space=1_000_000, handshake=False
+        )
+        seen = set()
+        for _ in range(200):
+            engine.run(2)
+            seen.add(src.flow.path_id)
+        assert len(seen) > 150  # fresh draws, collisions negligible
+
+    def test_rehandshake_sheds_identity_then_reestablishes(self):
+        engine = simple_engine()
+        src = churn_source(engine, churn_interval=1000, rehandshake=True)
+        engine.run(20)
+        assert src.established  # initial handshake completed
+        src._churn(engine.tick)
+        # the old identity is shed completely: the bot must re-SYN for a
+        # capability bound to the fresh identifier
+        assert not src.established
+        assert src.capability is None
+        engine.run(20)
+        assert src.established
+
+    def test_no_rehandshake_keeps_stale_capability(self):
+        engine = simple_engine()
+        src = churn_source(engine, churn_interval=10, rehandshake=False)
+        engine.run(60)
+        assert src.churns > 0
+        assert src.established  # never re-SYNs: stale identity retained
+
+    def test_deterministic_across_runs(self):
+        def pids(seed):
+            engine = simple_engine(seed=seed)
+            src = churn_source(engine, churn_interval=3, handshake=False)
+            out = []
+            for _ in range(30):
+                engine.run(3)
+                out.append(src.flow.path_id)
+            return out
+
+        assert pids(5) == pids(5)
+        assert pids(5) != pids(6)
+
+    def test_picklable_before_start(self):
+        engine = simple_engine()
+        src = churn_source(engine, churn_interval=10)
+        clone = pickle.loads(pickle.dumps(src))
+        assert clone.churn_interval == 10
