@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Diff two benchmark telemetry files: per-figure wall-time deltas.
+
+This is the standard way to prove (or gate) a speedup claim in this
+repo.  Run the benchmarks on the base commit and on your branch, keep
+both ``BENCH_*.json`` files, and diff them::
+
+    python benchmarks/compare.py BENCH_base.json BENCH_telemetry.json
+    python benchmarks/compare.py baseline-dir/ new-dir/ --fail-above 10
+
+Inputs are the ``BENCH_*.json`` files written by
+``benchmarks/conftest.py`` (``pytest benchmarks/``): a file path, or a
+directory holding one or more of them (matched across the two sides by
+file name).  The report prints one row per figure — base seconds, new
+seconds, absolute and relative delta — a per-subsystem diff of the
+profiled smoke scenario, and a total.
+
+``--fail-above PCT`` turns the diff into a regression gate: exit 1 if
+any figure got slower by more than PCT percent.  Figures faster than
+``--min-seconds`` (default 0.5s) on both sides are shown but never
+gate — their wall time is noise-dominated.  Exit codes: 0 ok, 1
+regression above the threshold, 2 unusable inputs.
+
+Stdlib-only on purpose: CI lanes and release scripts can run it without
+installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def _load_file(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "figures_wall_seconds" not in payload:
+        raise ValueError(
+            f"{path} is not a benchmarks BENCH_*.json payload "
+            "(missing figures_wall_seconds)"
+        )
+    return payload
+
+
+def load_side(path: str) -> Dict[str, Dict]:
+    """``{file name: payload}`` for one side of the comparison."""
+    if os.path.isdir(path):
+        names = sorted(
+            n
+            for n in os.listdir(path)
+            if n.startswith("BENCH_") and n.endswith(".json")
+        )
+        if not names:
+            raise ValueError(f"no BENCH_*.json files in {path}")
+        return {n: _load_file(os.path.join(path, n)) for n in names}
+    return {os.path.basename(path): _load_file(path)}
+
+
+def _short(nodeid: str) -> str:
+    """benchmarks/test_fig07_robustness.py::test_x -> fig07_robustness::test_x"""
+    name = nodeid.split("/")[-1]
+    name = name.replace("test_", "", 1).replace(".py", "")
+    return name
+
+
+def _pct(base: float, new: float) -> Optional[float]:
+    if base <= 0:
+        return None
+    return (new - base) / base * 100.0
+
+
+def compare_payloads(
+    base: Dict, new: Dict, fail_above: Optional[float], min_seconds: float
+) -> Tuple[List[str], List[str]]:
+    """(report lines, regression descriptions past the threshold)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    base_figs: Dict[str, float] = base["figures_wall_seconds"]
+    new_figs: Dict[str, float] = new["figures_wall_seconds"]
+    scale = (base.get("bench_scale"), new.get("bench_scale"))
+    seconds = (base.get("bench_seconds"), new.get("bench_seconds"))
+    if scale[0] != scale[1] or seconds[0] != seconds[1]:
+        lines.append(
+            f"  WARNING: bench knobs differ (scale {scale[0]} -> {scale[1]}, "
+            f"seconds {seconds[0]} -> {seconds[1]}); deltas are not "
+            "like-for-like"
+        )
+    header = f"  {'figure':<44} {'base':>8} {'new':>8} {'delta':>8} {'%':>8}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    total_base = total_new = 0.0
+    for nodeid in sorted(set(base_figs) | set(new_figs)):
+        b = base_figs.get(nodeid)
+        n = new_figs.get(nodeid)
+        label = _short(nodeid)[:44]
+        if b is None or n is None:
+            side = "base" if n is None else "new"
+            lines.append(f"  {label:<44} {'only in ' + side:>35}")
+            continue
+        total_base += b
+        total_new += n
+        pct = _pct(b, n)
+        pct_text = f"{pct:+8.1f}" if pct is not None else "     n/a"
+        lines.append(
+            f"  {label:<44} {b:>7.2f}s {n:>7.2f}s {n - b:>+7.2f}s {pct_text}"
+        )
+        noise = b < min_seconds and n < min_seconds
+        if (
+            fail_above is not None
+            and pct is not None
+            and pct > fail_above
+            and not noise
+        ):
+            regressions.append(
+                f"{label}: {b:.2f}s -> {n:.2f}s ({pct:+.1f}% > "
+                f"+{fail_above:g}%)"
+            )
+    pct = _pct(total_base, total_new)
+    pct_text = f"{pct:+8.1f}" if pct is not None else "     n/a"
+    lines.append("  " + "-" * (len(header) - 2))
+    lines.append(
+        f"  {'total':<44} {total_base:>7.2f}s {total_new:>7.2f}s "
+        f"{total_new - total_base:>+7.2f}s {pct_text}"
+    )
+    smoke = _smoke_lines(base, new)
+    if smoke:
+        lines.append("")
+        lines.append("  profiled smoke, per-subsystem seconds:")
+        lines.extend(smoke)
+    return lines, regressions
+
+
+def _smoke_lines(base: Dict, new: Dict) -> List[str]:
+    b = (base.get("profiled_smoke") or {}).get("totals_seconds")
+    n = (new.get("profiled_smoke") or {}).get("totals_seconds")
+    if not isinstance(b, dict) or not isinstance(n, dict):
+        return []
+    lines = []
+    for subsystem in sorted(set(b) | set(n)):
+        bs, ns = b.get(subsystem, 0.0), n.get(subsystem, 0.0)
+        pct = _pct(bs, ns)
+        pct_text = f"{pct:+8.1f}" if pct is not None else "     n/a"
+        lines.append(
+            f"    {subsystem:<20} {bs:>8.4f}  {ns:>8.4f}  {pct_text}"
+        )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files (or directories of them): "
+        "per-figure wall-time deltas and an optional regression gate",
+    )
+    parser.add_argument(
+        "base", help="baseline BENCH_*.json file, or a directory of them"
+    )
+    parser.add_argument(
+        "new", help="candidate BENCH_*.json file, or a directory of them"
+    )
+    parser.add_argument(
+        "--fail-above", type=float, metavar="PCT", default=None,
+        help="exit 1 if any figure slowed down by more than PCT percent",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, metavar="S", default=0.5,
+        help="figures under S seconds on both sides never trip the gate "
+        "(noise floor; default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        base_side = load_side(args.base)
+        new_side = load_side(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+    if len(base_side) == 1 and len(new_side) == 1:
+        # single file on each side: compare them regardless of file name
+        pairs = [
+            (next(iter(base_side)), next(iter(new_side)))
+        ]
+    else:
+        common = sorted(set(base_side) & set(new_side))
+        if not common:
+            sys.stderr.write(
+                f"error: no BENCH_*.json names in common between "
+                f"{args.base} and {args.new}\n"
+            )
+            return 2
+        pairs = [(name, name) for name in common]
+
+    all_regressions: List[str] = []
+    for base_name, new_name in pairs:
+        title = (
+            base_name
+            if base_name == new_name
+            else f"{base_name} -> {new_name}"
+        )
+        print(title)
+        lines, regressions = compare_payloads(
+            base_side[base_name],
+            new_side[new_name],
+            args.fail_above,
+            args.min_seconds,
+        )
+        print("\n".join(lines))
+        print()
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        sys.stderr.write("regressions above threshold:\n")
+        for item in all_regressions:
+            sys.stderr.write(f"  {item}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..errors import ConfigError
 from ..runner import CheckpointStore, RetryPolicy, SupervisedRunner
 from ..runner.supervisor import JobReport, UnitContext
+from ..trace import current_tracer
 from .artifact import write_artifact
 from .campaign import run_campaign
 from .shrink import shrink_campaign
@@ -97,7 +98,13 @@ class CampaignJob:
         self.artifact_dir = artifact_dir
 
     def __call__(self, ctx: UnitContext) -> Dict[str, Any]:
-        result = run_campaign(self.spec)
+        tracer = current_tracer()
+        with tracer.span(
+            "campaign.run", cat="campaign",
+            parent=ctx.trace_parent, simulator=self.spec.simulator,
+        ) as span:
+            result = run_campaign(self.spec)
+            span.end(ok=result.ok)
         out: Dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "simulator": self.spec.simulator,
@@ -111,11 +118,16 @@ class CampaignJob:
         violated = result.report.violated()
         if violated is None or not self.shrink:
             return out
-        shrunk = shrink_campaign(
-            self.spec,
-            violated.slo,
-            max_trials=self.max_shrink_trials,
-        )
+        with tracer.span(
+            "campaign.shrink", cat="campaign",
+            parent=ctx.trace_parent, slo=violated.slo,
+        ) as span:
+            shrunk = shrink_campaign(
+                self.spec,
+                violated.slo,
+                max_trials=self.max_shrink_trials,
+            )
+            span.end(trials=shrunk.trials)
         out["shrink"] = {
             "slo": shrunk.slo,
             "trials": shrunk.trials,
@@ -129,6 +141,10 @@ class CampaignJob:
                 Path(self.artifact_dir) / f"reproducer-{ctx.name}.json",
             )
             out["artifact"] = str(path)
+            tracer.event(
+                "artifact.write", cat="campaign",
+                parent=ctx.trace_parent, path=str(path),
+            )
         return out
 
 

@@ -132,6 +132,7 @@ def _load_builtin_rules() -> None:
         mutable_defaults,
         pickle_safety,
         process_safety,
+        span_hygiene,
         spawn_safety,
         units,
     )

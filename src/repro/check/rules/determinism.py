@@ -23,6 +23,14 @@ those).  The tick profiler's entire job is attributing real elapsed time
 to subsystems; its measurements never feed back into simulation state,
 and its pickle support erases them so checkpoints and digests stay
 wall-clock-free.
+
+The span-tracing package ``repro.trace`` is in scope on the same terms:
+its one allowed clock is ``repro.trace.clock`` (the second and last
+entry in :data:`WALL_CLOCK_ALLOWED_MODULES`), every other trace module
+must go through it, and span timestamps only ever reach per-process
+JSONL text files — never pickles or digests, which FLC012 enforces
+structurally (``__getstate__`` must pickle empty) and a digest-identity
+test locks end to end.
 """
 
 from __future__ import annotations
@@ -53,9 +61,13 @@ WALL_CLOCK_CALLS = frozenset(
 )
 
 #: Modules exempt from the wall-clock findings only (random/numpy rules
-#: still apply).  Sole entry: the tick profiler, whose purpose is wall
-#: time and whose state never reaches digests or checkpoints.
-WALL_CLOCK_ALLOWED_MODULES = frozenset({"repro.telemetry.profiler"})
+#: still apply).  Two entries, both observation-only by construction:
+#: the tick profiler and the span tracer's clock module — their state
+#: never reaches digests or checkpoints (pickle support erases it; see
+#: FLC012 for the structural enforcement).
+WALL_CLOCK_ALLOWED_MODULES = frozenset(
+    {"repro.telemetry.profiler", "repro.trace.clock"}
+)
 
 #: ``random`` module attributes that are safe: seeded RNG constructors.
 SEEDED_RANDOM_OK = frozenset({"random.Random", "random.SystemRandom"})
@@ -88,6 +100,7 @@ class DeterminismRule(Rule):
         "repro.core",
         "repro.traffic",
         "repro.telemetry",
+        "repro.trace",
     )
 
     def check(self, module) -> Iterator[Diagnostic]:

@@ -28,6 +28,16 @@ Blind spots (documented in docs/architecture.md): taint stored on
 ``self`` in one method and read in another, taint through containers at
 element granularity, call chains deeper than the fixpoint bound, and
 methods invoked through instances the resolver cannot name.
+
+Documented exemption: the span tracer (:mod:`repro.trace`) reads wall
+clocks by design — through ``repro.trace.clock``, the FLC001 carve-out
+— and its timestamps reach per-process JSONL text files only.  No
+exemption entry is needed *here* because those values provably never
+flow into a hashlib call, checkpoint ``save`` payload, or barrier piece:
+tracers pickle empty (``__getstate__`` erases all state, enforced by
+FLC012) and the span-file writer is a plain text sink.  If a future
+change routes a span timestamp into a digest input, this rule is
+expected to fire — do not baseline such a finding away.
 """
 
 from __future__ import annotations

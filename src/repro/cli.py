@@ -25,6 +25,11 @@ Commands
 ``metrics PATH [--profile]``
     Render a ``metrics.json`` telemetry export (or the directory holding
     one) as a table.
+``trace {report,export} DIR``
+    Analyse a span-trace directory produced by ``--trace``: ``report``
+    prints phase attribution, rollups, the cross-process critical path
+    and an ASCII timeline; ``export`` (re)writes the Perfetto-loadable
+    ``trace.json`` (see :mod:`repro.trace`).
 
 ``run`` and ``chaos`` accept ``--telemetry {off,metrics,trace,jsonl}``:
 ``metrics`` records the registry (counters, gauges, series), ``trace``
@@ -33,6 +38,15 @@ additionally logs every FLoc decision event keyed by simulation tick
 profile per-subsystem wall time.  Exports land in ``--telemetry-dir``
 (default ``telemetry/``).  Telemetry is observation-only: results and
 digests are byte-identical with it on or off.
+
+``run`` and ``chaos`` also accept ``--trace``: wall-clock span tracing
+of the execution fabric itself (supervisor, fleet workers, shard
+barriers, checkpoint/salvage, chaos campaigns, per-tick phases).  Every
+process appends to its own ``spans-*.jsonl`` under ``--trace-dir``
+(default ``trace/``); at the end of the run the files are merged into a
+Perfetto-loadable ``trace.json`` and a summary is printed.  Like
+telemetry, tracing is observation-only — digests are byte-identical
+with it on or off — and wall-clock data never reaches checkpoints.
 
 Scale/duration flags apply to the functional figures; internet-scale
 figures take ``--variants``.  Every ``run`` is supervised (see
@@ -46,7 +60,10 @@ configuration or unusable checkpoint directory; 3 partial (some units
 failed — completed rows are still printed and salvaged); 4 watchdog
 deadline exceeded; 5 interrupted by SIGTERM/SIGINT (progress
 checkpointed; re-run with ``--resume``); 6 a poison job was quarantined
-by the fleet (its reproducer artifact path is in the status table).
+by the fleet (its reproducer artifact path is in the status table);
+7 no data — ``metrics`` found no telemetry export at the given path, or
+``trace`` found no span files in the given directory (the command names
+the missing artifact and how to produce it).
 With several jobs (``run`` with multiple figures), the exit code is the
 *worst* job's, and a per-job status table is printed whenever any job
 ended non-ok.
@@ -81,6 +98,8 @@ FIGURES = {
 }
 
 #: Job/fleet status -> process exit code (see module docstring).
+#: ``nodata`` is not a job status: it is the documented loud exit for
+#: ``metrics``/``trace`` invoked on a path with nothing to render.
 EXIT_CODES = {
     "ok": 0,
     "failed": 1,
@@ -88,6 +107,7 @@ EXIT_CODES = {
     "deadline": 4,
     "interrupted": 5,
     "quarantined": 6,
+    "nodata": 7,
 }
 
 #: Statuses from best to worst; multi-job runs exit with the worst one.
@@ -171,6 +191,66 @@ def _telemetry_from_args(args):
     # "jsonl" is the tracing mode named after its artifact
     return Telemetry(
         mode="trace" if mode == "jsonl" else mode, profile=True
+    )
+
+
+def _tracer_from_args(args):
+    """Build the run tracer the ``--trace`` flag asked for.
+
+    Stale ``spans-*.jsonl`` from an earlier run in the same directory
+    are removed first — span files are append-only, so leftovers would
+    otherwise merge into this run's timeline.
+    """
+    from .trace import NULL_TRACER, Tracer
+
+    if not getattr(args, "trace", False):
+        return NULL_TRACER
+    os.makedirs(args.trace_dir, exist_ok=True)
+    for name in os.listdir(args.trace_dir):
+        if name.startswith("spans-") and name.endswith(".jsonl"):
+            os.unlink(os.path.join(args.trace_dir, name))
+    return Tracer(args.trace_dir, proc="main")
+
+
+def _shadow_telemetry(tel, tracer):
+    """Serial ``--trace`` without ``--telemetry``: returns a shadow
+    recorder (plus a flag saying so) that exists only to feed the
+    tracer's per-tick phase spans and must never be exported.  Fleet
+    workers build their own shadow (see :mod:`repro.fleet.worker`)."""
+    if tracer.enabled and not tel.enabled:
+        from .telemetry import Telemetry
+
+        return Telemetry(mode="metrics", profile=True), True
+    return tel, False
+
+
+def _finish_trace(args, tracer) -> None:
+    """Merge the run's span files, write trace.json, print the summary."""
+    if not tracer.enabled:
+        return
+    tracer.close()
+    from .trace import analyze, merge_trace, write_chrome_trace
+
+    trace = merge_trace(args.trace_dir)
+    path = write_chrome_trace(
+        trace, os.path.join(args.trace_dir, "trace.json")
+    )
+    analysis = analyze(trace)
+    top = [
+        f"{name} {seconds:.3f}s"
+        for name, seconds in sorted(
+            analysis.phases.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:4]
+    ]
+    sys.stdout.write(
+        f"trace: {len(trace.spans)} span(s) from "
+        f"{max(len(trace.procs), 1)} process(es) -> {path}\n"
+    )
+    if top:
+        sys.stdout.write("trace: top phases: " + ", ".join(top) + "\n")
+    sys.stdout.write(
+        f"trace: load {path} in ui.perfetto.dev, or run "
+        f"`repro trace report {args.trace_dir}`\n"
     )
 
 
@@ -333,6 +413,8 @@ def _run_figures(args) -> int:
         store.check_job(fingerprint)
 
     tel = _telemetry_from_args(args)
+    tracer = _tracer_from_args(args)
+    tel, shadow_tel = _shadow_telemetry(tel, tracer)
     statuses: Dict[str, str] = {}
     results: Dict[str, Any] = {}
     unit_rows: List[Tuple[str, str, int, str]] = []
@@ -376,22 +458,28 @@ def _run_figures(args) -> int:
             args, 5.0 if plan is not None else 30.0
         )
         mode = getattr(args, "telemetry", "off")
-        freport = run_fleet(
-            tasks,
-            store,
-            FleetOptions(
-                workers=args.workers,
-                telemetry_mode="trace" if mode == "jsonl" else mode,
-                sanitize=settings.sanitize,
-                retry=RetryPolicy(max_retries=args.retries, seed=args.seed),
-                deadline_seconds=args.deadline,
-                fault_plan=plan,
-                heartbeat_interval_seconds=hb_interval,
-                heartbeat_timeout_seconds=hb_timeout,
-            ),
-            log=_runner_log,
-        )
+        from .trace import use_tracer
+
+        with use_tracer(tracer):
+            freport = run_fleet(
+                tasks,
+                store,
+                FleetOptions(
+                    workers=args.workers,
+                    telemetry_mode="trace" if mode == "jsonl" else mode,
+                    sanitize=settings.sanitize,
+                    retry=RetryPolicy(
+                        max_retries=args.retries, seed=args.seed
+                    ),
+                    deadline_seconds=args.deadline,
+                    fault_plan=plan,
+                    heartbeat_interval_seconds=hb_interval,
+                    heartbeat_timeout_seconds=hb_timeout,
+                ),
+                log=_runner_log,
+            )
         tel = freport.telemetry
+        shadow_tel = False  # the merged fleet telemetry is the real one
         results = dict(freport.results)
         unit_rows = freport.summary_rows()
         if shards is not None:
@@ -406,7 +494,9 @@ def _run_figures(args) -> int:
                     freport, [name for name, _ in jobs[fig].units]
                 )
     else:
-        with use(tel):
+        from .trace import use_tracer
+
+        with use_tracer(tracer), use(tel):
             for fig in figures:
                 runner = SupervisedRunner(
                     store=store,
@@ -424,7 +514,9 @@ def _run_figures(args) -> int:
                 if report.status in ("deadline", "interrupted"):
                     break  # the whole run is cut off, not just this job
 
-    _export_telemetry(args, tel)
+    if not shadow_tel:
+        _export_telemetry(args, tel)
+    _finish_trace(args, tracer)
     for fig in figures:
         if fig not in statuses:
             continue  # never started (an earlier job hit the deadline)
@@ -550,6 +642,8 @@ def _chaos(args) -> int:
         raise ConfigError("--process-faults requires --workers")
 
     tel = _telemetry_from_args(args)
+    tracer = _tracer_from_args(args)
+    tel, shadow_tel = _shadow_telemetry(tel, tracer)
     if args.workers is not None:
         import tempfile
 
@@ -592,21 +686,25 @@ def _chaos(args) -> int:
         hb_interval, hb_timeout = _heartbeat_from(
             args, 5.0 if plan is not None else 30.0
         )
-        freport = run_fleet(
-            tasks,
-            store,
-            FleetOptions(
-                workers=args.workers,
-                telemetry_mode="trace" if mode == "jsonl" else mode,
-                retry=RetryPolicy(seed=args.seed),
-                deadline_seconds=args.deadline,
-                fault_plan=plan,
-                heartbeat_interval_seconds=hb_interval,
-                heartbeat_timeout_seconds=hb_timeout,
-            ),
-            log=_runner_log,
-        )
+        from .trace import use_tracer
+
+        with use_tracer(tracer):
+            freport = run_fleet(
+                tasks,
+                store,
+                FleetOptions(
+                    workers=args.workers,
+                    telemetry_mode="trace" if mode == "jsonl" else mode,
+                    retry=RetryPolicy(seed=args.seed),
+                    deadline_seconds=args.deadline,
+                    fault_plan=plan,
+                    heartbeat_interval_seconds=hb_interval,
+                    heartbeat_timeout_seconds=hb_timeout,
+                ),
+                log=_runner_log,
+            )
         tel = freport.telemetry
+        shadow_tel = False  # the merged fleet telemetry is the real one
         from .chaos import ChaosReport
 
         report = ChaosReport(
@@ -627,14 +725,18 @@ def _chaos(args) -> int:
             specs=[CampaignSpec.from_dict(t.spec) for t in tasks],
         )
     else:
-        with use(tel):
+        from .trace import use_tracer
+
+        with use_tracer(tracer), use(tel):
             report = run_chaos(
                 options,
                 store=store,
                 deadline_seconds=args.deadline,
                 log=_runner_log,
             )
-    _export_telemetry(args, tel)
+    if not shadow_tel:
+        _export_telemetry(args, tel)
+    _finish_trace(args, tracer)
     rows = []
     unit_names = sorted(report.job.results)
     for name, campaign in zip(unit_names, report.campaigns):
@@ -695,6 +797,16 @@ def _metrics(args) -> int:
     path = args.path
     if os.path.isdir(path):
         path = os.path.join(path, "metrics.json")
+    if not os.path.exists(path):
+        # the documented "nothing to render" exit (code 7, see module
+        # docstring) — distinct from a malformed export, which is a
+        # ConfigError (exit 2)
+        sys.stderr.write(f"error: no telemetry export at {path}\n")
+        sys.stderr.write(
+            "hint: produce one with `repro run FIG --telemetry metrics` "
+            "(exports land in --telemetry-dir, default telemetry/)\n"
+        )
+        return EXIT_CODES["nodata"]
     payload = load_metrics_json(path)
     rows = [
         [name, entry.get("kind", "?"), _metric_cell(entry.get("value"))]
@@ -725,6 +837,29 @@ def _metrics(args) -> int:
             profile.get("totals_seconds", {}).items()
         ):
             sys.stdout.write(f"profile: {subsystem} {seconds:.6f}s\n")
+    return 0
+
+
+def _trace_cmd(args) -> int:
+    from .trace import merge_trace, render_report, write_chrome_trace
+
+    try:
+        trace = merge_trace(args.dir)
+    except ConfigError as exc:
+        # the documented "nothing to analyse" exit (code 7, see module
+        # docstring)
+        sys.stderr.write(f"error: {exc}\n")
+        sys.stderr.write(
+            "hint: produce span files with `repro run FIG --trace` "
+            "(they land in --trace-dir, default trace/)\n"
+        )
+        return EXIT_CODES["nodata"]
+    if args.action == "report":
+        sys.stdout.write(render_report(trace))
+        return 0
+    out = args.out or os.path.join(args.dir, "trace.json")
+    path = write_chrome_trace(trace, out)
+    sys.stdout.write(f"wrote {path}\n")
     return 0
 
 
@@ -908,6 +1043,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_heartbeat(run)
     _add_telemetry(run)
+    _add_trace_flags(run)
 
     quick = sub.add_parser("quickstart", help="FLoc vs a CBR flood")
     _add_common(quick)
@@ -976,6 +1112,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the sweep table to DIR/chaos.csv")
     _add_heartbeat(chaos)
     _add_telemetry(chaos)
+    _add_trace_flags(chaos)
 
     metrics = sub.add_parser(
         "metrics", help="render a telemetry metrics.json export as a table"
@@ -987,6 +1124,26 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--profile", action="store_true",
         help="also print the per-subsystem wall-time profile, if recorded",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyse a span-trace directory produced by --trace",
+    )
+    trace.add_argument(
+        "action", choices=("report", "export"),
+        help="'report' prints phase attribution, per-span rollups, the "
+             "cross-process critical path and an ASCII timeline; "
+             "'export' (re)writes the Perfetto-loadable trace.json",
+    )
+    trace.add_argument(
+        "dir", metavar="DIR",
+        help="the --trace-dir of a finished run (holds spans-*.jsonl)",
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="where 'export' writes the Chrome trace-event JSON "
+             "(default: DIR/trace.json)",
     )
 
     check = sub.add_parser(
@@ -1073,6 +1230,22 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="span-trace the execution fabric (supervisor, fleet "
+             "workers, shard barriers, checkpoint/salvage, per-tick "
+             "phases) into per-process JSONL files merged into a "
+             "Perfetto-loadable trace.json; results and digests are "
+             "byte-identical either way",
+    )
+    parser.add_argument(
+        "--trace-dir", metavar="DIR", default="trace",
+        help="directory the span files and trace.json land in "
+             "(default: trace/)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.08,
                         help="flow/capacity scale factor (1.0 = paper)")
@@ -1101,6 +1274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _check(args)
         if args.command == "metrics":
             return _metrics(args)
+        if args.command == "trace":
+            return _trace_cmd(args)
         return _quickstart(args)
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")

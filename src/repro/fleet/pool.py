@@ -51,6 +51,7 @@ from ..errors import ConfigError
 from ..runner.checkpoint import CheckpointStore
 from ..runner.supervisor import GracefulShutdown, RetryPolicy, Watchdog
 from ..telemetry import NullTelemetry
+from ..trace import SpanHandle, current_tracer
 from .faults import ProcessFaultPlan
 from .heartbeat import HeartbeatMonitor
 from .merge import merge_telemetry
@@ -208,6 +209,13 @@ class _FleetRun:
         self.deaths: Dict[str, Set[int]] = {}
         self.started: Dict[str, float] = {}
         self.workers_spawned = 0
+        # supervisor-side spans: one per task, opened at first assignment
+        # and closed when the task reaches an outcome; stored here (not
+        # in a `with` block) because open and close live in different
+        # supervision sweeps
+        self.tracer = current_tracer()
+        self.fleet_span: Optional[SpanHandle] = None
+        self.task_spans: Dict[str, SpanHandle] = {}
         self.gang_members: Dict[str, List[str]] = {}
         for task in self.tasks:
             gang = getattr(task, "gang", None)
@@ -232,7 +240,11 @@ class _FleetRun:
             checkpoint_interval=self.options.checkpoint_interval,
             heartbeat_interval_seconds=self.options.heartbeat_interval_seconds,
             fault_plan=self.options.fault_plan,
+            trace=self.tracer.context() if self.tracer.enabled else None,
         )
+
+    def _fleet_span_id(self) -> Optional[str]:
+        return self.fleet_span.span_id if self.fleet_span is not None else None
 
     def spawn_worker(self) -> _Worker:
         worker_id = self.next_worker_id
@@ -245,6 +257,10 @@ class _FleetRun:
             daemon=True,
         )
         process.start()
+        self.tracer.event(
+            "spawn-worker", cat="fleet",
+            parent=self._fleet_span_id(), worker=worker_id,
+        )
         self.workers_spawned += 1
         worker = _Worker(worker_id, process, queue)
         self.workers[worker_id] = worker
@@ -288,11 +304,26 @@ class _FleetRun:
         worker.assigned = (seq, task, attempt, now)
         self.inflight[seq] = (task, attempt)
         self.started.setdefault(task.name, now)
+        span = self.task_spans.get(task.name)
+        if span is None:
+            # the task span survives worker deaths and reassignments: it
+            # covers first assignment to final outcome, with the worker-
+            # side execution spans parented under it
+            span = self.tracer.span(
+                f"task:{task.name}", cat="task", parent=self._fleet_span_id()
+            )
+            self.task_spans[task.name] = span
+        span.event("assign", worker=worker.id, attempt=attempt)
         try:
-            worker.queue.put(("task", seq, task))
+            worker.queue.put(("task", seq, task, span.span_id))
         except (OSError, ValueError):
             # queue to a dying worker; liveness sweep will reassign
             pass
+
+    def _end_task_span(self, name: str, status: str) -> None:
+        span = self.task_spans.pop(name, None)
+        if span is not None:
+            span.end(status=status)
 
     def assign_ready(self) -> None:
         now = time.monotonic()
@@ -362,6 +393,7 @@ class _FleetRun:
                 attempts=attempts,
             )
         )
+        self._end_task_span(name, "resumed" if resumed else "done")
         self.log(f"{name}: {'resumed' if resumed else 'done'}")
 
     def record_failed(self, name: str, attempts: int, error: str) -> None:
@@ -372,6 +404,7 @@ class _FleetRun:
                 name=name, status="failed", attempts=attempts, error=error
             )
         )
+        self._end_task_span(name, "failed")
         self.log(f"{name}: failed after {attempts} attempt(s): {error}")
 
     def quarantine(self, task: Any, attempts: int) -> None:
@@ -406,6 +439,7 @@ class _FleetRun:
                 ),
             )
         )
+        self._end_task_span(name, "quarantined")
         self.log(f"{name}: quarantined (reproducer: {path})")
 
     def salvage_or_requeue(self, worker: _Worker) -> None:
@@ -427,6 +461,9 @@ class _FleetRun:
             return
         dead = self.deaths.setdefault(name, set())
         dead.add(worker.id)
+        span = self.task_spans.get(name)
+        if span is not None:
+            span.event("worker-died", worker=worker.id, deaths=len(dead))
         if len(dead) >= self.options.max_worker_deaths:
             self.quarantine(task, attempts=attempt)
             return
@@ -539,6 +576,11 @@ class _FleetRun:
                 status = "partial"
             else:
                 status = "failed"
+        # tasks the run abandoned (deadline/interrupt) still hold open
+        # supervisor-side spans; close them so the merged timeline is
+        # truncation-free even on unclean exits
+        for name in sorted(self.task_spans):
+            self._end_task_span(name, status_override or "abandoned")
         # one telemetry piece per gang: every member of a gang records
         # the same global stream (shard sims replicate global reductions),
         # so folding all of them would multiply every counter by the
@@ -554,7 +596,13 @@ class _FleetRun:
                     continue
                 seen_gangs.add(gang)
             fold.append(self.pieces[task.name])
-        telemetry = merge_telemetry(fold)
+        with self.tracer.span(
+            "merge.telemetry", cat="run", parent=self._fleet_span_id(),
+            pieces=len(fold),
+        ):
+            telemetry = merge_telemetry(fold)
+        if self.fleet_span is not None:
+            self.fleet_span.end(status=status, workers=self.workers_spawned)
         return FleetReport(
             status=status,
             outcomes=ordered,
@@ -585,6 +633,9 @@ def run_fleet(
     the workers along the way."""
     options = options if options is not None else FleetOptions()
     run = _FleetRun(tasks, store, options, log if log is not None else _null_log)
+    run.fleet_span = run.tracer.span(
+        "fleet", cat="job", workers=options.workers, tasks=len(run.tasks)
+    )
     watchdog = (
         Watchdog(options.deadline_seconds)
         if options.deadline_seconds is not None
@@ -592,40 +643,44 @@ def run_fleet(
     )
     started = time.monotonic()
     status_override: Optional[str] = None
-    # pre-salvage: anything this store already completed never hits a queue
-    run.store.refresh()
-    for task in run.tasks:
-        if run.store.has("unit", task.name):
-            telemetry: NullTelemetry = NullTelemetry()
-            if run.store.has("telemetry", telemetry_key(task.name)):
-                telemetry = run.store.load(
-                    "telemetry", telemetry_key(task.name)
+    try:
+        # pre-salvage: anything this store already completed never hits a
+        # queue
+        run.store.refresh()
+        for task in run.tasks:
+            if run.store.has("unit", task.name):
+                telemetry: NullTelemetry = NullTelemetry()
+                if run.store.has("telemetry", telemetry_key(task.name)):
+                    telemetry = run.store.load(
+                        "telemetry", telemetry_key(task.name)
+                    )
+                run.record_done(
+                    task.name, run.store.load("unit", task.name), telemetry,
+                    resumed=True, attempts=0,
                 )
-            run.record_done(
-                task.name, run.store.load("unit", task.name), telemetry,
-                resumed=True, attempts=0,
-            )
-        else:
-            run.enqueue(task, attempt=1, at=started)
-    with GracefulShutdown() as shutdown:
-        force = False
-        try:
-            if run.unfinished():
-                run.start_workers()
-            while run.unfinished():
-                if shutdown.requested:
-                    status_override = "interrupted"
-                    run.log("shutdown requested; stopping fleet")
-                    break
-                if watchdog is not None and watchdog.expired:
-                    status_override = "deadline"
-                    run.log("fleet deadline exceeded; stopping")
-                    break
-                run.assign_ready()
-                run.drain_results(options.poll_interval_seconds)
-                run.sweep_liveness()
-            if status_override is not None:
-                force = True
-        finally:
-            run.stop_workers(force=force)
-    return run.report(status_override, time.monotonic() - started)
+            else:
+                run.enqueue(task, attempt=1, at=started)
+        with GracefulShutdown() as shutdown:
+            force = False
+            try:
+                if run.unfinished():
+                    run.start_workers()
+                while run.unfinished():
+                    if shutdown.requested:
+                        status_override = "interrupted"
+                        run.log("shutdown requested; stopping fleet")
+                        break
+                    if watchdog is not None and watchdog.expired:
+                        status_override = "deadline"
+                        run.log("fleet deadline exceeded; stopping")
+                        break
+                    run.assign_ready()
+                    run.drain_results(options.poll_interval_seconds)
+                    run.sweep_liveness()
+                if status_override is not None:
+                    force = True
+            finally:
+                run.stop_workers(force=force)
+        return run.report(status_override, time.monotonic() - started)
+    finally:
+        run.fleet_span.end()

@@ -3,7 +3,9 @@
 Protocol (all messages are picklable tuples):
 
 * supervisor -> worker, per-worker task queue:
-  ``("task", seq, task)`` or ``("stop",)``;
+  ``("task", seq, task, parent_span)`` or ``("stop",)`` —
+  ``parent_span`` is the supervisor-side task span id (or ``None``), so
+  the worker's spans join the cross-process trace DAG under it;
 * worker -> supervisor, shared result queue:
   ``("done", worker_id, seq, name, result, telemetry, resumed)`` or
   ``("fail", worker_id, seq, name, error, retryable)``.
@@ -33,6 +35,15 @@ from typing import Any, Optional
 from ..runner.checkpoint import CheckpointStore
 from ..runner.supervisor import NON_RETRYABLE, UnitContext
 from ..telemetry import NullTelemetry, Telemetry, use
+from ..trace import (
+    NULL_TRACER,
+    SpanHandle,
+    TraceContext,
+    Tracer,
+    current_tracer,
+    phase_delta,
+    use_tracer,
+)
 from .faults import FaultInjector, ProcessFaultPlan
 from .heartbeat import Heartbeat
 
@@ -55,6 +66,8 @@ class WorkerConfig:
     checkpoint_interval: int = 200
     heartbeat_interval_seconds: float = 0.1
     fault_plan: Optional[ProcessFaultPlan] = None
+    #: run tracing context (trace id, span dir, epoch); None = no tracing
+    trace: Optional[TraceContext] = None
 
 
 class HeartbeatPulse:
@@ -74,10 +87,22 @@ class HeartbeatPulse:
         self._heartbeat.beat("run", job=self._job)
 
 
-def _fresh_telemetry(mode: str) -> NullTelemetry:
+def _fresh_telemetry(mode: str, profile: bool = False) -> NullTelemetry:
+    """One task's telemetry recorder.
+
+    When tracing is on (``profile=True``) the recorder always carries a
+    profiler so the tracer can synthesize per-tick phase spans; for
+    ``mode == "off"`` that means a *shadow* telemetry the caller must
+    discard after the profiler is read — it exists only to feed the
+    trace, never the store or the supervisor's merge.
+    """
     if mode == "off":
-        return NullTelemetry()
-    return Telemetry(mode=mode)
+        return (
+            Telemetry(mode="metrics", profile=True)
+            if profile
+            else NullTelemetry()
+        )
+    return Telemetry(mode=mode, profile=profile)
 
 
 def _run_task(
@@ -85,6 +110,7 @@ def _run_task(
     store: CheckpointStore,
     config: WorkerConfig,
     heartbeat: Heartbeat,
+    task_span: SpanHandle,
 ) -> tuple:
     """Execute (or salvage) one task; returns (result, telemetry, resumed)."""
     name = task.name
@@ -92,6 +118,7 @@ def _run_task(
     if store.has("unit", name):
         # completed by a worker that died before reporting, or by an
         # earlier (serial or fleet) run sharing this store
+        task_span.event("task.salvaged")
         result = store.load("unit", name)
         telemetry = (
             store.load("telemetry", telemetry_key(name))
@@ -99,7 +126,9 @@ def _run_task(
             else NullTelemetry()
         )
         return result, telemetry, True
-    telemetry = _fresh_telemetry(config.telemetry_mode)
+    tracer = current_tracer()
+    telemetry = _fresh_telemetry(config.telemetry_mode, profile=tracer.enabled)
+    shadow = config.telemetry_mode == "off" and telemetry.enabled
     ctx = UnitContext(
         name=name,
         store=store,
@@ -107,9 +136,26 @@ def _run_task(
         watchdog=HeartbeatPulse(heartbeat, name),  # type: ignore[arg-type]
         sanitize=config.sanitize,
         checkpoint_interval=config.checkpoint_interval,
+        trace_parent=task_span.span_id,
+    )
+    profile_before = (
+        dict(telemetry.profiler.totals_seconds)
+        if telemetry.profiler is not None
+        else {}
     )
     with use(telemetry):
         result = task.run(ctx)
+    if telemetry.profiler is not None:
+        tracer.emit_phases(
+            task_span,
+            phase_delta(
+                profile_before, dict(telemetry.profiler.totals_seconds)
+            ),
+        )
+    if shadow:
+        # the shadow recorder existed only for the profiler above; the
+        # supervisor asked for telemetry off, so ship (and store) none
+        telemetry = NullTelemetry()
     if telemetry.enabled:
         store.save("telemetry", telemetry_key(name), telemetry)
     store.save("unit", name, result)
@@ -136,34 +182,50 @@ def worker_main(
         config.fault_plan, os.path.join(config.fleet_dir, "faults")
     )
     store = CheckpointStore(config.store_root)
-    while True:
-        message = task_queue.get()
-        if message[0] == "stop":
-            break
-        _, seq, task = message
-        name = task.name
-        heartbeat.beat("run", job=name)
-        injector.apply(name, heartbeat)
-        try:
-            result, telemetry, resumed = _run_task(
-                task, store, config, heartbeat
-            )
-        except Exception as exc:  # noqa: BLE001 - reported to supervisor
-            retryable = not isinstance(exc, NON_RETRYABLE)
-            result_queue.put(
-                (
-                    "fail",
-                    worker_id,
-                    seq,
-                    name,
-                    f"{type(exc).__name__}: {exc}",
-                    retryable,
-                )
-            )
-        else:
-            result_queue.put(
-                ("done", worker_id, seq, name, result, telemetry, resumed)
-            )
-        heartbeat.beat("idle")
+    tracer = (
+        Tracer.from_context(config.trace, proc=f"w{worker_id}")
+        if config.trace is not None
+        else NULL_TRACER
+    )
+    with use_tracer(tracer):
+        while True:
+            message = task_queue.get()
+            if message[0] == "stop":
+                break
+            _, seq, task, parent_span = message
+            name = task.name
+            heartbeat.beat("run", job=name)
+            injector.apply(name, heartbeat)
+            with tracer.span(
+                f"task:{name}", cat="task",
+                parent=parent_span, worker=worker_id,
+            ) as span:
+                try:
+                    result, telemetry, resumed = _run_task(
+                        task, store, config, heartbeat, span
+                    )
+                except Exception as exc:  # noqa: BLE001 - reported to supervisor
+                    retryable = not isinstance(exc, NON_RETRYABLE)
+                    span.end(status="fail", error=type(exc).__name__)
+                    result_queue.put(
+                        (
+                            "fail",
+                            worker_id,
+                            seq,
+                            name,
+                            f"{type(exc).__name__}: {exc}",
+                            retryable,
+                        )
+                    )
+                else:
+                    span.end(status="resumed" if resumed else "done")
+                    result_queue.put(
+                        (
+                            "done",
+                            worker_id, seq, name, result, telemetry, resumed,
+                        )
+                    )
+            heartbeat.beat("idle")
+    tracer.close()
     heartbeat.beat("stopped")
     heartbeat.stop()

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError, ShardBarrierTimeout
+from ..trace import NULL_TRACER, current_tracer
 from .scenarios import InternetScenario
 from .simulator import FluidResult, result_from_matrix
 
@@ -155,14 +156,22 @@ class BarrierExchange:
         self._clock = clock
         self._sleep = sleep
         self.poll_hook: Optional[Callable[[], None]] = None
+        # bound at construction (the owning task rebuilds the exchange in
+        # prepare() on every (re)start, inside the worker's tracer scope);
+        # barrier publish/collect spans are how straggler waits show up
+        # on the merged timeline
+        self.tracer = current_tracer()
         os.makedirs(directory, exist_ok=True)
 
     def __getstate__(self) -> Dict[str, Any]:
         # the poll hook is a live supervisor object (heartbeat pulse /
-        # watchdog bound method); it must not ride through checkpoints —
-        # the owning task re-attaches it after load
+        # watchdog bound method) and the tracer holds an open span sink
+        # with wall-clock state; neither may ride through checkpoints —
+        # the owning task re-attaches both by rebuilding the exchange
+        # after load
         state = dict(self.__dict__)
         state["poll_hook"] = None
+        state["tracer"] = NULL_TRACER
         return state
 
     # -- file layout ---------------------------------------------------
@@ -256,12 +265,22 @@ class BarrierExchange:
         must be integers: they are summed across shards, which is exact
         in any order.
         """
-        self._publish(
-            tick, round_key, {"vectors": vectors, "counts": counts}
-        )
+        with self.tracer.span(
+            "barrier.publish", cat="barrier",
+            tick=tick, round=round_key, shard=self.spec.shard,
+        ):
+            self._publish(
+                tick, round_key, {"vectors": vectors, "counts": counts}
+            )
         if round_key == "load" and tick % self.epoch_ticks == 0:
             self._collect_garbage(tick)
-        peers = self._collect(tick, round_key)
+        # the collect span *is* the barrier wait: its duration is how
+        # long this shard idled for its slowest peer this round
+        with self.tracer.span(
+            "barrier.collect", cat="barrier",
+            tick=tick, round=round_key, shard=self.spec.shard,
+        ):
+            peers = self._collect(tick, round_key)
 
         spec = self.spec
         full_vectors: Dict[str, np.ndarray] = {}

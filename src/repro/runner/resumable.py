@@ -17,6 +17,7 @@ from typing import Any, Callable, Optional
 
 from ..errors import Interrupted
 from ..telemetry import current
+from ..trace import current_tracer
 from .checkpoint import CheckpointStore
 from .supervisor import GracefulShutdown, Watchdog
 
@@ -121,6 +122,7 @@ def run_checkpointed(
     shutdown: Optional[GracefulShutdown] = None,
     watchdog: Optional[Watchdog] = None,
     prepare: Optional[Callable[[Any], None]] = None,
+    trace_parent: Optional[str] = None,
 ) -> Any:
     """Run (or resume) one tick-level simulation to completion.
 
@@ -140,25 +142,47 @@ def run_checkpointed(
         raise ValueError(
             f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
         )
+    tracer = current_tracer()
     run = None
     if store is not None and store.has("state", name):
-        run = store.load("state", name)
-        _readopt_telemetry(run)
+        with tracer.span(
+            "salvage.load", cat="salvage", parent=trace_parent, unit=name
+        ) as span:
+            run = store.load("state", name)
+            _readopt_telemetry(run)
+            span.end(ticks_done=run.ticks_done)
     if run is None:
-        run = build()
+        with tracer.span("build", cat="run", parent=trace_parent, unit=name):
+            run = build()
     if prepare is not None:
         prepare(run)
+    segment = 0
     while not run.done:
         if watchdog is not None:
             watchdog.check()
         if shutdown is not None and shutdown.requested:
             if store is not None:
-                store.save("state", name, run)
+                with tracer.span(
+                    "checkpoint.save", cat="checkpoint",
+                    parent=trace_parent, unit=name, reason="shutdown",
+                ):
+                    store.save("state", name, run)
             shutdown.raise_if_requested(context=name)
-        run.advance(checkpoint_interval)
+        with tracer.span(
+            "ticks", cat="run", parent=trace_parent, unit=name,
+            segment=segment,
+        ) as span:
+            run.advance(checkpoint_interval)
+            span.end(ticks_done=run.ticks_done)
+        segment += 1
         if store is not None and not run.done:
-            store.save("state", name, run)
-    result = finalize(run)
+            with tracer.span(
+                "checkpoint.save", cat="checkpoint",
+                parent=trace_parent, unit=name,
+            ):
+                store.save("state", name, run)
+    with tracer.span("finalize", cat="run", parent=trace_parent, unit=name):
+        result = finalize(run)
     if store is not None:
         store.delete("state", name)
     return result

@@ -33,6 +33,7 @@ from ..errors import (
     InvariantViolation,
 )
 from ..telemetry import current
+from ..trace import current_tracer, phase_delta
 from .checkpoint import CheckpointStore
 
 #: Errors retrying cannot fix: same inputs -> same failure.
@@ -48,6 +49,19 @@ def _null_log(message: str) -> None:
     Module-level (not a lambda) so a runner instance holding it stays
     picklable for checkpoint/salvage paths.
     """
+
+
+def _profiler_totals() -> Dict[str, float]:
+    """Snapshot of the session profiler's per-subsystem totals.
+
+    Used to synthesize per-phase child spans for a unit (the delta
+    between two snapshots is the unit's own tick-phase time); empty when
+    profiling is off, which turns the synthesis into a no-op.
+    """
+    profiler = current().profiler
+    if profiler is None:
+        return {}
+    return dict(profiler.totals_seconds)
 
 
 class Watchdog:
@@ -182,6 +196,10 @@ class UnitContext:
     watchdog: Optional[Watchdog] = None
     sanitize: Optional[str] = None
     checkpoint_interval: int = 200
+    #: span id of the supervisor's unit/task span, so spans opened deeper
+    #: in the stack (checkpoint save, salvage, barrier epochs) parent
+    #: under it on the merged timeline
+    trace_parent: Optional[str] = None
 
     def checkpointed(self, build, finalize):
         """Run a tick-level resumable simulation for this unit (see
@@ -196,6 +214,7 @@ class UnitContext:
             checkpoint_interval=self.checkpoint_interval,
             shutdown=self.shutdown,
             watchdog=self.watchdog,
+            trace_parent=self.trace_parent,
         )
 
 
@@ -289,21 +308,29 @@ class SupervisedRunner:
             else None
         )
         report = JobReport(status="ok")
-        with GracefulShutdown() as shutdown:
-            try:
-                for name, fn in units:
-                    if watchdog is not None:
-                        watchdog.check()
-                    shutdown.raise_if_requested(context=name)
-                    self._run_one(name, fn, report, shutdown, watchdog)
-            except DeadlineExceeded as exc:
-                self._log(f"deadline: {exc}")
-                report.status = "deadline"
-            except Interrupted as exc:
-                self._log(f"interrupted: {exc}")
-                report.status = "interrupted"
-        if report.status == "ok" and report.failed():
-            report.status = "partial" if report.completed() else "failed"
+        job_span = current_tracer().span("job", cat="job", units=len(units))
+        try:
+            with GracefulShutdown() as shutdown:
+                try:
+                    for name, fn in units:
+                        if watchdog is not None:
+                            watchdog.check()
+                        shutdown.raise_if_requested(context=name)
+                        self._run_one(
+                            name, fn, report, shutdown, watchdog,
+                            parent_span=job_span.span_id,
+                        )
+                except DeadlineExceeded as exc:
+                    self._log(f"deadline: {exc}")
+                    report.status = "deadline"
+                except Interrupted as exc:
+                    self._log(f"interrupted: {exc}")
+                    report.status = "interrupted"
+            if report.status == "ok" and report.failed():
+                report.status = "partial" if report.completed() else "failed"
+            job_span.end(status=report.status)
+        finally:
+            job_span.end()
         return report
 
     # ------------------------------------------------------------------
@@ -314,12 +341,16 @@ class SupervisedRunner:
         report: JobReport,
         shutdown: GracefulShutdown,
         watchdog: Optional[Watchdog],
+        parent_span: Optional[str] = None,
     ) -> None:
+        tracer = current_tracer()
         if self.store is not None and self.store.has("unit", name):
             report.results[name] = self.store.load("unit", name)
             report.outcomes.append(UnitOutcome(name=name, status="resumed"))
+            tracer.event("unit.resumed", cat="unit", parent=parent_span, unit=name)
             self._log(f"{name}: resumed from checkpoint")
             return
+        span = tracer.span(f"unit:{name}", cat="unit", parent=parent_span)
         ctx = UnitContext(
             name=name,
             store=self.store,
@@ -327,57 +358,76 @@ class SupervisedRunner:
             watchdog=watchdog,
             sanitize=self.sanitize,
             checkpoint_interval=self.checkpoint_interval,
+            trace_parent=span.span_id,
         )
         attempts = 0
         started = self._clock()
-        while True:
-            attempts += 1
-            try:
-                result = fn(ctx)
-            except (DeadlineExceeded, Interrupted):
-                # job-level conditions: unwind to run_units, which stamps
-                # the report status (completed units stay salvageable)
-                raise
-            except Exception as exc:
-                if (
-                    self.retry.retryable(exc)
-                    and attempts <= self.retry.max_retries
-                    and not shutdown.requested
-                ):
-                    delay = self.retry.backoff(name, attempts)
+        profile_before = _profiler_totals()
+        try:
+            while True:
+                attempts += 1
+                try:
+                    result = fn(ctx)
+                except (DeadlineExceeded, Interrupted):
+                    # job-level conditions: unwind to run_units, which stamps
+                    # the report status (completed units stay salvageable)
+                    raise
+                except Exception as exc:
+                    if (
+                        self.retry.retryable(exc)
+                        and attempts <= self.retry.max_retries
+                        and not shutdown.requested
+                    ):
+                        delay = self.retry.backoff(name, attempts)
+                        self._log(
+                            f"{name}: attempt {attempts} failed ({exc}); "
+                            f"retrying in {delay:.2f}s"
+                        )
+                        with tracer.span(
+                            "retry.wait", cat="retry",
+                            parent=span.span_id, attempt=attempts,
+                        ):
+                            self._sleep(delay)
+                        continue
+                    report.outcomes.append(
+                        UnitOutcome(
+                            name=name,
+                            status="failed",
+                            attempts=attempts,
+                            error=f"{type(exc).__name__}: {exc}",
+                            seconds=self._clock() - started,
+                        )
+                    )
                     self._log(
-                        f"{name}: attempt {attempts} failed ({exc}); "
-                        f"retrying in {delay:.2f}s"
+                        f"{name}: failed after {attempts} attempt(s): {exc}"
                     )
-                    self._sleep(delay)
-                    continue
-                report.outcomes.append(
-                    UnitOutcome(
-                        name=name,
-                        status="failed",
-                        attempts=attempts,
-                        error=f"{type(exc).__name__}: {exc}",
-                        seconds=self._clock() - started,
+                    span.end(
+                        status="failed", attempts=attempts,
+                        error=type(exc).__name__,
                     )
+                    return
+                break
+            if self.store is not None:
+                self.store.save("unit", name, result)
+                telemetry = current()
+                if telemetry.enabled:
+                    # snapshot after every completed unit: at most one unit's
+                    # worth of telemetry is lost to a crash (the profiler's
+                    # wall-clock state intentionally pickles away to empty)
+                    self.store.save("telemetry", "registry", telemetry)
+            report.results[name] = result
+            report.outcomes.append(
+                UnitOutcome(
+                    name=name,
+                    status="done",
+                    attempts=attempts,
+                    seconds=self._clock() - started,
                 )
-                self._log(f"{name}: failed after {attempts} attempt(s): {exc}")
-                return
-            break
-        if self.store is not None:
-            self.store.save("unit", name, result)
-            telemetry = current()
-            if telemetry.enabled:
-                # snapshot after every completed unit: at most one unit's
-                # worth of telemetry is lost to a crash (the profiler's
-                # wall-clock state intentionally pickles away to empty)
-                self.store.save("telemetry", "registry", telemetry)
-        report.results[name] = result
-        report.outcomes.append(
-            UnitOutcome(
-                name=name,
-                status="done",
-                attempts=attempts,
-                seconds=self._clock() - started,
             )
-        )
-        self._log(f"{name}: done ({attempts} attempt(s))")
+            tracer.emit_phases(
+                span, phase_delta(profile_before, _profiler_totals())
+            )
+            span.end(status="done", attempts=attempts)
+            self._log(f"{name}: done ({attempts} attempt(s))")
+        finally:
+            span.end()

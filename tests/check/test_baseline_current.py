@@ -26,6 +26,6 @@ def test_every_rule_family_ran_over_the_tree():
     ran = {rule.rule_id for rule in checker.rules}
     assert {
         "FLC001", "FLC002", "FLC003", "FLC004", "FLC005", "FLC006",
-        "FLC007", "FLC008", "FLC009", "FLC010", "FLC011",
+        "FLC007", "FLC008", "FLC009", "FLC010", "FLC011", "FLC012",
     } <= ran
     assert checker.run().modules_checked > 50

@@ -418,3 +418,189 @@ class TestFLC007SpawnSafety:
             module="repro.net.fixture",
         )
         assert not rule.applies_to(mod)
+
+
+class TestFLC001TraceScope:
+    def test_wall_clock_in_trace_package_flagged(self):
+        found = findings(
+            "FLC001",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module="repro.trace.fixture",
+        )
+        assert len(found) == 1
+
+    def test_trace_clock_module_is_the_carve_out(self):
+        found = findings(
+            "FLC001",
+            """
+            import time
+
+            def wall_now():
+                return time.time()
+            """,
+            module="repro.trace.clock",
+        )
+        assert found == []
+
+
+class TestFLC012SpanHygiene:
+    def test_bare_span_expression_flagged(self):
+        found = findings(
+            "FLC012",
+            """
+            def go(tracer):
+                tracer.span("unit")
+            """,
+        )
+        assert len(found) == 1
+        assert "immediately dropped" in found[0].message
+
+    def test_unclosed_local_assignment_flagged(self):
+        found = findings(
+            "FLC012",
+            """
+            def go(tracer):
+                span = tracer.span("unit")
+                span.event("x")
+            """,
+        )
+        assert len(found) == 1
+        assert "'span' is never closed" in found[0].message
+
+    def test_with_closure_clean(self):
+        found = findings(
+            "FLC012",
+            """
+            def go(tracer):
+                with tracer.span("unit"):
+                    pass
+            """,
+        )
+        assert found == []
+
+    def test_try_finally_end_clean(self):
+        found = findings(
+            "FLC012",
+            """
+            def go(tracer):
+                span = tracer.span("unit")
+                try:
+                    work()
+                finally:
+                    span.end(status="done")
+            """,
+        )
+        assert found == []
+
+    def test_stored_handle_clean(self):
+        # the fleet pool pattern: open here, closed in another sweep
+        found = findings(
+            "FLC012",
+            """
+            def dispatch(self, tracer, name):
+                self.task_spans[name] = tracer.span(name)
+
+            def hold(self, tracer):
+                span = tracer.span("job")
+                self.job_span = span
+            """,
+        )
+        assert found == []
+
+    def test_returned_handle_clean(self):
+        found = findings(
+            "FLC012",
+            """
+            def open_span(tracer, name):
+                return tracer.span(name)
+            """,
+        )
+        assert found == []
+
+    def test_factory_receiver_flagged(self):
+        found = findings(
+            "FLC012",
+            """
+            from repro.trace import current_tracer
+
+            def go():
+                current_tracer().span("unit")
+            """,
+        )
+        assert len(found) == 1
+
+    def test_unrelated_span_attribute_ignored(self):
+        # .span on a non-tracer receiver is a different domain entirely
+        found = findings(
+            "FLC012",
+            """
+            def go(window):
+                window.span("x")
+            """,
+        )
+        assert found == []
+
+    def test_pickle_call_in_trace_package_flagged(self):
+        found = findings(
+            "FLC012",
+            """
+            import pickle
+
+            def snapshot(spans):
+                return pickle.dumps(spans)
+            """,
+            module="repro.trace.fixture",
+        )
+        assert len(found) == 1
+        assert "must never be pickled" in found[0].message
+
+    def test_pickle_call_outside_trace_package_ignored(self):
+        found = findings(
+            "FLC012",
+            """
+            import pickle
+
+            def snapshot(obj):
+                return pickle.dumps(obj)
+            """,
+            module="repro.fleet.fixture",
+        )
+        assert found == []
+
+    def test_nonempty_getstate_in_trace_package_flagged(self):
+        found = findings(
+            "FLC012",
+            """
+            class Sink:
+                def __getstate__(self):
+                    return {"spans": self.spans}
+            """,
+            module="repro.trace.fixture",
+        )
+        assert len(found) == 1
+        assert "__getstate__" in found[0].message
+
+    def test_empty_getstate_shapes_clean(self):
+        found = findings(
+            "FLC012",
+            """
+            class A:
+                def __getstate__(self):
+                    return {}
+
+            class B:
+                def __getstate__(self):
+                    return dict()
+
+            class C:
+                def __getstate__(self):
+                    return None
+            """,
+            module="repro.trace.fixture",
+        )
+        assert found == []

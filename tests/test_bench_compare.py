@@ -1,0 +1,100 @@
+"""benchmarks/compare.py: the standard speedup/regression proof tool."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py",
+)
+compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare)
+
+
+def _payload(figures, scale=0.05):
+    return {
+        "schema": 1,
+        "bench_scale": scale,
+        "bench_seconds": 10.0,
+        "figures_wall_seconds": figures,
+    }
+
+
+def _write(path, figures, scale=0.05):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_payload(figures, scale)))
+    return str(path)
+
+
+FIG = "benchmarks/test_fig07_robustness.py::test_fig07"
+
+
+class TestCompare:
+    def test_identical_sides_pass(self, tmp_path, capsys):
+        base = _write(tmp_path / "a" / "BENCH_t.json", {FIG: 2.0})
+        new = _write(tmp_path / "b" / "BENCH_t.json", {FIG: 2.0})
+        assert compare.main([base, new]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_speedup_is_reported_not_failed(self, tmp_path, capsys):
+        base = _write(tmp_path / "a" / "BENCH_t.json", {FIG: 4.0})
+        new = _write(tmp_path / "b" / "BENCH_t.json", {FIG: 2.0})
+        assert compare.main([base, new, "--fail-above", "10"]) == 0
+        assert "-50.0" in capsys.readouterr().out
+
+    def test_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        base = _write(tmp_path / "a" / "BENCH_t.json", {FIG: 2.0})
+        new = _write(tmp_path / "b" / "BENCH_t.json", {FIG: 2.4})
+        assert compare.main([base, new, "--fail-above", "10"]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_noise_floor_exempts_tiny_figures(self, tmp_path, capsys):
+        tiny = "benchmarks/test_fig03_packet_sizes.py::test_fig03"
+        base = _write(
+            tmp_path / "a" / "BENCH_t.json", {FIG: 2.0, tiny: 0.01}
+        )
+        new = _write(
+            tmp_path / "b" / "BENCH_t.json", {FIG: 2.0, tiny: 0.04}
+        )
+        # +300% on a 10ms figure is timer noise, not a regression
+        assert compare.main([base, new, "--fail-above", "10"]) == 0
+
+    def test_missing_input_is_usage_error(self, tmp_path, capsys):
+        base = _write(tmp_path / "a" / "BENCH_t.json", {FIG: 2.0})
+        assert compare.main([base, str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_directory_sides_match_by_filename(self, tmp_path, capsys):
+        _write(tmp_path / "a" / "BENCH_telemetry.json", {FIG: 2.0})
+        _write(tmp_path / "b" / "BENCH_telemetry.json", {FIG: 1.0})
+        assert compare.main([str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+
+    def test_knob_mismatch_warns(self, tmp_path, capsys):
+        base = _write(tmp_path / "a" / "BENCH_t.json", {FIG: 2.0}, scale=0.05)
+        new = _write(tmp_path / "b" / "BENCH_t.json", {FIG: 2.0}, scale=0.10)
+        assert compare.main([base, new]) == 0
+        captured = capsys.readouterr()
+        assert "WARNING" in captured.out + captured.err
+
+    def test_payload_diff_lists_one_sided_figures(self):
+        lines, regressions = compare.compare_payloads(
+            _payload({FIG: 2.0, "only::base": 1.0}),
+            _payload({FIG: 2.0, "only::new": 1.0}),
+            fail_above=None,
+            min_seconds=0.5,
+        )
+        joined = "\n".join(lines)
+        assert "only in base" in joined
+        assert "only in new" in joined
+        assert regressions == []
+
+
+def test_compare_is_stdlib_only():
+    source = (
+        Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+    ).read_text(encoding="utf-8")
+    for banned in ("numpy", "pandas", "repro."):
+        assert banned not in source

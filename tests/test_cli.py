@@ -206,3 +206,71 @@ class TestMultiJobRuns:
             (serial_csv / "fig03.csv").read_text()
             == (fleet_csv / "fig03.csv").read_text()
         )
+
+
+class TestTraceCommand:
+    def test_trace_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "fig03", "--trace", "--trace-dir", "t"]
+        )
+        assert args.trace
+        assert args.trace_dir == "t"
+        args = build_parser().parse_args(["chaos", "--trace"])
+        assert args.trace
+        assert args.trace_dir == "trace"
+        args = build_parser().parse_args(["trace", "report", "t"])
+        assert args.command == "trace"
+        assert args.action == "report"
+        assert args.dir == "t"
+
+    def test_run_trace_exports_and_reports(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        rc = main(
+            ["run", "fig03", "--trace", "--trace-dir", str(trace_dir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert (trace_dir / "trace.json").exists()
+
+        assert main(["trace", "report", str(trace_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "critical path" in report
+        assert "timeline" in report
+
+        out_json = tmp_path / "exported.json"
+        assert main(
+            ["trace", "export", str(trace_dir), "--out", str(out_json)]
+        ) == 0
+        assert out_json.exists()
+
+    def test_trace_does_not_change_results(self, tmp_path, capsys):
+        base_csv = tmp_path / "base"
+        traced_csv = tmp_path / "traced"
+        common = ["chaos", "--seed", "11", "--campaigns", "1",
+                  "--simulator", "packet", "--no-shrink"]
+        assert main(common + ["--csv", str(base_csv)]) == 0
+        assert main(
+            common
+            + ["--csv", str(traced_csv), "--trace", "--trace-dir",
+               str(tmp_path / "trace")]
+        ) == 0
+        capsys.readouterr()
+        assert (
+            (base_csv / "chaos.csv").read_text()
+            == (traced_csv / "chaos.csv").read_text()
+        )
+
+    def test_trace_report_missing_dir_is_loud_nodata(self, tmp_path, capsys):
+        rc = main(["trace", "report", str(tmp_path / "nope")])
+        assert rc == 7
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "hint:" in err
+
+    def test_metrics_missing_dir_is_loud_nodata(self, tmp_path, capsys):
+        rc = main(["metrics", str(tmp_path / "nope")])
+        assert rc == 7
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "hint:" in err

@@ -1,0 +1,61 @@
+"""Hand-written span files: the JSONL format as a regression surface.
+
+Tests build trace directories from explicit records instead of live
+tracers wherever timing must be exact — the byte format written here is
+the on-disk contract :mod:`repro.trace.merge` must keep parsing.
+"""
+
+import json
+
+
+def record_line(record):
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def meta(proc, trace="t1", epoch=1000.0):
+    return {"ph": "M", "proc": proc, "trace": trace, "epoch": epoch}
+
+
+def begin(proc, seq, ts, name, parent=None, cat="run", **args):
+    return {
+        "ph": "B",
+        "ts": ts,
+        "span": f"{proc}:{seq}",
+        "parent": parent,
+        "name": name,
+        "cat": cat,
+        "proc": proc,
+        "args": args,
+    }
+
+
+def end(proc, seq, ts, **args):
+    return {"ph": "E", "ts": ts, "span": f"{proc}:{seq}", "args": args}
+
+
+def instant(proc, seq, ts, name, parent=None, cat="run", **args):
+    return {
+        "ph": "i",
+        "ts": ts,
+        "span": f"{proc}:{seq}",
+        "parent": parent,
+        "name": name,
+        "cat": cat,
+        "proc": proc,
+        "args": args,
+    }
+
+
+def write_spans(trace_dir, proc, records, trace="t1", epoch=1000.0,
+                torn_tail=None):
+    """Write one process's span file; ``torn_tail`` appends an unfinished
+    line with no newline, the footprint of a SIGKILL mid-write."""
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    lines = [record_line(meta(proc, trace=trace, epoch=epoch))]
+    lines.extend(record_line(r) for r in records)
+    text = "\n".join(lines) + "\n"
+    if torn_tail is not None:
+        text += torn_tail
+    path = trace_dir / f"spans-{proc}.jsonl"
+    path.write_text(text, encoding="utf-8")
+    return path

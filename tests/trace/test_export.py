@@ -1,0 +1,124 @@
+"""Exporters: Chrome trace-event JSON structure and the ASCII report."""
+
+import json
+
+from repro.trace import chrome_trace, merge_trace, render_report
+from repro.trace.export import (
+    MAX_LANE_ROWS,
+    ascii_timeline,
+    write_chrome_trace,
+)
+
+from .helpers import begin, end, instant, write_spans
+
+
+def _small_trace(tmp_path):
+    write_spans(
+        tmp_path,
+        "main",
+        [
+            begin("main", 1, 0.0, "job", cat="job"),
+            begin("main", 2, 0.5, "unit:fig07", cat="unit",
+                  parent="main:1"),
+            instant("main", 3, 0.6, "unit.resumed", parent="main:2"),
+            end("main", 2, 2.0, status="done"),
+            end("main", 1, 2.5),
+        ],
+    )
+    write_spans(
+        tmp_path,
+        "w0",
+        [
+            begin("w0", 1, 0.7, "ticks", parent="main:2"),
+            end("w0", 1, 1.9),
+        ],
+    )
+    return merge_trace(str(tmp_path))
+
+
+class TestChromeTrace:
+    def test_event_structure_is_perfetto_compatible(self, tmp_path):
+        payload = chrome_trace(_small_trace(tmp_path))
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["trace_id"] == "t1"
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        # thread metadata names every proc, supervisor first (tid 0)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {0: "main", 1: "w0"}
+        # durations are microseconds
+        job = next(e for e in events if e.get("name") == "job")
+        assert job["ts"] == 0.0
+        assert job["dur"] == 2.5e6
+        assert job["args"]["span_id"] == "main:1"
+        unit = next(e for e in events if e.get("name") == "unit:fig07")
+        assert unit["args"]["parent"] == "main:1"
+        mark = next(e for e in events if e["ph"] == "i")
+        assert mark["s"] == "t"
+
+    def test_written_file_round_trips(self, tmp_path):
+        trace = _small_trace(tmp_path / "spans")
+        out = write_chrome_trace(trace, str(tmp_path / "out" / "trace.json"))
+        assert out.exists()
+        text = out.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert json.loads(text) == chrome_trace(trace)
+
+
+class TestAsciiTimeline:
+    def test_lane_rows_and_flags(self, tmp_path):
+        trace = _small_trace(tmp_path)
+        text = ascii_timeline(trace)
+        assert "[main]" in text and "[w0]" in text
+        assert "job (2.500s)" in text
+
+    def test_truncated_span_is_flagged(self, tmp_path):
+        write_spans(
+            tmp_path, "w0", [begin("w0", 1, 0.0, "task:u", cat="task")]
+        )
+        text = ascii_timeline(merge_trace(str(tmp_path)))
+        assert "!truncated" in text
+
+    def test_crowded_lane_is_capped(self, tmp_path):
+        records = []
+        for index in range(MAX_LANE_ROWS + 30):
+            records.append(begin("w0", index + 1, index * 0.01, "b"))
+            records.append(end("w0", index + 1, index * 0.01 + 0.005))
+        write_spans(tmp_path, "w0", records)
+        text = ascii_timeline(merge_trace(str(tmp_path)))
+        rows = [line for line in text.splitlines() if "b (" in line]
+        assert len(rows) == MAX_LANE_ROWS
+        assert "30 shorter span(s) hidden" in text
+
+    def test_empty_trace_renders(self):
+        from repro.trace.merge import MergedTrace
+
+        assert ascii_timeline(MergedTrace(trace_id="t")) == "(empty trace)\n"
+
+
+class TestRenderReport:
+    def test_sections_present(self, tmp_path):
+        trace = _small_trace(tmp_path)
+        report = render_report(trace)
+        assert "phase attribution" in report
+        assert "rollups" in report
+        assert "critical path" in report
+        assert "timeline" in report
+        # the path walks job -> unit -> worker ticks
+        assert "job [main]" in report
+        assert "ticks [w0]" in report
+
+    def test_salvage_accounting_surfaces(self, tmp_path):
+        write_spans(
+            tmp_path, "w0",
+            [begin("w0", 1, 0.0, "task:u", cat="task")],
+            torn_tail='{"ph":"E"',
+        )
+        report = render_report(merge_trace(str(tmp_path)))
+        assert "1 torn line(s)" in report
+        assert "1 truncated span(s)" in report

@@ -1,0 +1,160 @@
+"""Live spans from the instrumented fabric + digest identity with tracing.
+
+These tests run the real supervisor / fleet / chaos layers with a real
+tracer attached and assert (a) the span DAG they emit is the documented
+taxonomy and joins across processes, and (b) results and digests are
+byte-identical with tracing on or off — the regression lock for the
+observation-only contract.
+"""
+
+import pickle
+
+from repro.chaos import ChaosOptions, run_chaos
+from repro.experiments.common import FunctionalSettings
+from repro.fleet import FleetOptions, figure_tasks, run_fleet
+import numpy as np
+
+from repro.inet.shard import BarrierExchange, ShardSpec
+from repro.runner import CheckpointStore, SupervisedRunner
+from repro.trace import NullTracer, Tracer, merge_trace, use_tracer
+
+
+def _settings():
+    return FunctionalSettings(
+        scale=0.05, warmup_seconds=0.5, measure_seconds=1.0, seed=3
+    )
+
+
+def _quick_unit(ctx):
+    return {"name": ctx.name}
+
+
+class TestRunnerSpans:
+    def test_job_and_unit_spans_with_parenting(self, tmp_path):
+        tracer = Tracer(str(tmp_path), proc="main")
+        with use_tracer(tracer):
+            report = SupervisedRunner().run_units(
+                [("u1", _quick_unit), ("u2", _quick_unit)]
+            )
+        tracer.close()
+        assert report.status == "ok"
+        merged = merge_trace(str(tmp_path))
+        by_name = {s.name: s for s in merged.spans}
+        job = by_name["job"]
+        assert job.cat == "job"
+        assert job.args["status"] == "ok"
+        for unit in ("unit:u1", "unit:u2"):
+            assert by_name[unit].parent == job.span_id
+            assert by_name[unit].args["status"] == "done"
+        assert merged.truncated_spans == 0
+
+    def test_no_tracer_no_files(self, tmp_path):
+        report = SupervisedRunner().run_units([("u1", _quick_unit)])
+        assert report.status == "ok"
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestFleetSpans:
+    def test_worker_spans_join_the_supervisor_dag(self, tmp_path):
+        # fig07 (not fig03) so the tasks drive the profiled tick engine
+        # and the workers synthesize per-phase spans from its totals
+        trace_dir = tmp_path / "trace"
+        tasks = figure_tasks("fig07", _settings())
+        store = CheckpointStore(str(tmp_path / "store"))
+        tracer = Tracer(str(trace_dir), proc="main")
+        with use_tracer(tracer):
+            freport = run_fleet(
+                tasks, store, FleetOptions(workers=2)
+            )
+        tracer.close()
+        assert freport.status == "ok"
+
+        merged = merge_trace(str(trace_dir))
+        assert "main" in merged.procs
+        worker_procs = sorted(p for p in merged.procs if p != "main")
+        assert worker_procs  # at least one worker wrote spans
+        by_id = merged.by_id()
+        fleet = next(s for s in merged.spans if s.name == "fleet")
+        # every worker-side task span parents under a supervisor-side
+        # task span of the same name, which parents under the fleet span
+        worker_tasks = [
+            s for s in merged.spans
+            if s.cat == "task" and s.proc != "main"
+        ]
+        assert len(worker_tasks) == len(tasks)
+        for span in worker_tasks:
+            parent = by_id[span.parent]
+            assert parent.proc == "main"
+            assert parent.name == span.name
+            assert parent.parent == fleet.span_id
+        # per-tick engine phases were synthesized inside the worker spans
+        assert any(s.cat == "phase" for s in merged.spans)
+
+    def test_fleet_results_identical_with_tracing(self, tmp_path):
+        tasks = figure_tasks("fig03", _settings())
+        base = run_fleet(
+            tasks,
+            CheckpointStore(str(tmp_path / "s1")),
+            FleetOptions(workers=2),
+        )
+        tracer = Tracer(str(tmp_path / "trace"), proc="main")
+        with use_tracer(tracer):
+            traced = run_fleet(
+                figure_tasks("fig03", _settings()),
+                CheckpointStore(str(tmp_path / "s2")),
+                FleetOptions(workers=2),
+            )
+        tracer.close()
+        assert base.results == traced.results
+
+
+class TestChaosDigestIdentity:
+    def test_campaign_digest_identical_with_tracing(self, tmp_path):
+        options = ChaosOptions(
+            seed=4, campaigns=1, simulator="packet", shrink=False,
+            artifact_dir=None,
+        )
+        base = run_chaos(options)
+        tracer = Tracer(str(tmp_path), proc="main")
+        with use_tracer(tracer):
+            traced = run_chaos(options)
+        tracer.close()
+        assert base.campaigns[0]["digest"] == traced.campaigns[0]["digest"]
+        assert base.campaigns[0]["verdicts"] == (
+            traced.campaigns[0]["verdicts"]
+        )
+        # the sweep actually emitted campaign spans
+        merged = merge_trace(str(tmp_path))
+        assert any(s.name == "campaign.run" for s in merged.spans)
+
+
+class TestCheckpointPurity:
+    def test_barrier_exchange_pickles_without_its_tracer(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "trace"), proc="main")
+        with use_tracer(tracer):
+            exchange = BarrierExchange(
+                str(tmp_path / "xc"),
+                ShardSpec(
+                    shard=0,
+                    n_shards=2,
+                    shard_of_as=np.zeros(4, dtype=np.int64),
+                ),
+            )
+            assert exchange.tracer is tracer
+        clone = pickle.loads(pickle.dumps(exchange))
+        # the live tracer is replaced by a disabled shell on the way out
+        assert type(clone.tracer) is NullTracer
+        assert not clone.tracer.enabled
+        tracer.close()
+
+    def test_tracer_state_never_reaches_pickles(self, tmp_path):
+        tracer = Tracer(str(tmp_path), proc="main")
+        tracer.span("unit").end()
+        payload = pickle.dumps(tracer)
+        clone = pickle.loads(payload)
+        assert not clone.enabled
+        # pickling twice is stable: no hidden wall-clock state leaks in
+        assert pickle.dumps(clone) == pickle.dumps(
+            pickle.loads(payload)
+        )
+        tracer.close()

@@ -1,0 +1,164 @@
+"""Deterministic merge: canonical order, torn-line and SIGKILL salvage."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace import merge_trace
+from repro.trace.export import chrome_trace
+
+from .helpers import begin, end, instant, write_spans
+
+
+def _interleaved_records():
+    """Two workers whose spans overlap in time."""
+    w0 = [
+        begin("w0", 1, 0.10, "task:a", parent="main:2", cat="task"),
+        begin("w0", 2, 0.20, "ticks", parent="w0:1"),
+        end("w0", 2, 0.90),
+        end("w0", 1, 1.00, status="done"),
+    ]
+    w1 = [
+        begin("w1", 1, 0.10, "task:b", parent="main:3", cat="task"),
+        instant("w1", 2, 0.50, "task.salvaged", parent="w1:1"),
+        end("w1", 1, 0.80, status="done"),
+    ]
+    main = [
+        begin("main", 1, 0.00, "fleet", cat="job"),
+        begin("main", 2, 0.05, "task:a", cat="task", parent="main:1"),
+        begin("main", 3, 0.05, "task:b", cat="task", parent="main:1"),
+        end("main", 3, 0.85),
+        end("main", 2, 1.05),
+        end("main", 1, 1.10),
+    ]
+    return main, w0, w1
+
+
+class TestCanonicalOrder:
+    def test_merge_is_pure_in_file_contents(self, tmp_path):
+        main, w0, w1 = _interleaved_records()
+        first = tmp_path / "a"
+        write_spans(first, "main", main)
+        write_spans(first, "w0", w0)
+        write_spans(first, "w1", w1)
+        # same contents, opposite arrival order
+        second = tmp_path / "b"
+        write_spans(second, "w1", w1)
+        write_spans(second, "w0", w0)
+        write_spans(second, "main", main)
+
+        merged_a = merge_trace(str(first))
+        merged_b = merge_trace(str(second))
+        assert [s.span_id for s in merged_a.spans] == [
+            s.span_id for s in merged_b.spans
+        ]
+        assert merged_a == merged_b
+        assert chrome_trace(merged_a) == chrome_trace(merged_b)
+
+    def test_order_is_start_then_proc_then_seq(self, tmp_path):
+        main, w0, w1 = _interleaved_records()
+        write_spans(tmp_path, "main", main)
+        write_spans(tmp_path, "w0", w0)
+        write_spans(tmp_path, "w1", w1)
+        merged = merge_trace(str(tmp_path))
+        assert [s.span_id for s in merged.spans] == [
+            "main:1",            # start 0.00
+            "main:2", "main:3",  # start 0.05, same proc: seq order
+            "w0:1", "w1:1",      # start 0.10, proc order
+            "w0:2",              # start 0.20
+        ]
+        assert merged.trace_id == "t1"
+        assert merged.procs == {"main": 1000.0, "w0": 1000.0, "w1": 1000.0}
+
+    def test_parent_links_cross_processes(self, tmp_path):
+        main, w0, w1 = _interleaved_records()
+        write_spans(tmp_path, "main", main)
+        write_spans(tmp_path, "w0", w0)
+        write_spans(tmp_path, "w1", w1)
+        merged = merge_trace(str(tmp_path))
+        children = merged.children()
+        assert [s.span_id for s in children["main:2"]] == ["w0:1"]
+        assert [s.span_id for s in children["main:3"]] == ["w1:1"]
+        assert [s.span_id for s in merged.roots()] == ["main:1"]
+        assert merged.events[0].name == "task.salvaged"
+
+    def test_begin_and_end_args_are_folded(self, tmp_path):
+        write_spans(
+            tmp_path,
+            "main",
+            [
+                begin("main", 1, 0.0, "unit", attempt=1),
+                end("main", 1, 1.0, status="done"),
+            ],
+        )
+        span = merge_trace(str(tmp_path)).spans[0]
+        assert span.args == {"attempt": 1, "status": "done"}
+        assert span.duration == 1.0
+
+
+class TestSigkillSalvage:
+    def test_torn_trailing_line_is_counted_not_fatal(self, tmp_path):
+        main, w0, w1 = _interleaved_records()
+        write_spans(tmp_path, "main", main)
+        write_spans(
+            tmp_path, "w0", w0,
+            torn_tail='{"ph":"E","ts":1.01,"span":"w0',
+        )
+        write_spans(tmp_path, "w1", w1)
+        merged = merge_trace(str(tmp_path))
+        assert merged.torn_lines == 1
+        assert len(merged.spans) == 6  # every complete span survived
+
+    def test_killed_worker_spans_truncate_at_last_sign_of_life(
+        self, tmp_path
+    ):
+        # w0 was SIGKILLed mid-task: no end records ever made it out
+        write_spans(tmp_path, "main", _interleaved_records()[0])
+        write_spans(
+            tmp_path,
+            "w0",
+            [
+                begin("w0", 1, 0.10, "task:a", parent="main:2", cat="task"),
+                begin("w0", 2, 0.20, "ticks", parent="w0:1"),
+                instant("w0", 3, 0.60, "heartbeat"),
+            ],
+            torn_tail='{"ph":"E","ts":0.61,"sp',
+        )
+        merged = merge_trace(str(tmp_path))
+        assert merged.truncated_spans == 2
+        assert merged.torn_lines == 1
+        by_id = merged.by_id()
+        for span_id in ("w0:1", "w0:2"):
+            assert by_id[span_id].truncated
+            # closed at the worker's last parseable timestamp, so the
+            # timeline never extends past provable liveness
+            assert by_id[span_id].end == 0.60
+        # the rest of the timeline is intact and still canonically ordered
+        assert [s.span_id for s in merged.spans] == sorted(
+            (s.span_id for s in merged.spans),
+            key=lambda sid: (by_id[sid].start, by_id[sid].proc,
+                             by_id[sid].seq),
+        )
+
+    def test_orphan_end_is_dropped_and_counted(self, tmp_path):
+        write_spans(
+            tmp_path,
+            "w0",
+            [
+                end("w0", 9, 0.5),
+                begin("w0", 10, 0.6, "ok"),
+                end("w0", 10, 0.7),
+            ],
+        )
+        merged = merge_trace(str(tmp_path))
+        assert merged.orphan_ends == 1
+        assert [s.span_id for s in merged.spans] == ["w0:10"]
+
+
+class TestNoData:
+    def test_missing_directory_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            merge_trace(str(tmp_path / "nope"))
+
+    def test_empty_directory_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="no span files"):
+            merge_trace(str(tmp_path))
